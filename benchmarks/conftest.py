@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Scales are laptop-sized (see DESIGN.md, substitutions): the paper used
+12 MB and 113 MB XMark documents (1:10 node ratio) and the 130 MB DBLP
+database; we keep the 1:10 ratio at tens of thousands of elements so the
+whole bench suite runs in minutes while preserving the comparison's
+shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (
+    WorkloadBundle,
+    build_dblp_bundle,
+    build_xmark_bundle,
+)
+
+#: scale factors for the two XMark documents (≈1:10 element ratio).
+XMARK_SMALL_SCALE = 6.0
+XMARK_LARGE_SCALE = 60.0
+DBLP_SCALE = 30.0
+
+
+@pytest.fixture(scope="session")
+def xmark_small() -> WorkloadBundle:
+    return build_xmark_bundle(scale=XMARK_SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def xmark_large() -> WorkloadBundle:
+    return build_xmark_bundle(scale=XMARK_LARGE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def dblp() -> WorkloadBundle:
+    return build_dblp_bundle(scale=DBLP_SCALE)

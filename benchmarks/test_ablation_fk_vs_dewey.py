@@ -1,0 +1,87 @@
+"""Ablation — foreign-key equijoins vs Dewey theta-joins (Section 4.2).
+
+The paper argues single-step child/parent PPFs should join on integer
+foreign keys rather than variable-length Dewey blobs ("foreign key and
+primary key columns ... are much smaller ... and moreover equijoins
+perform generally better than theta-joins").  This bench runs the same
+queries both ways and verifies the structural difference plus a lenient
+performance ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PPFEngine
+from repro.bench.runner import run_query, time_engine
+from repro.workloads import XPATHMARK_QUERIES
+
+#: queries whose plans contain single-step child fragments after
+#: predicates (where the FK choice actually fires).
+_SHOWCASES = ["Q9", "Q21", "QA", "Q11"]
+
+
+@pytest.fixture(scope="module")
+def engines(xmark_small):
+    return {
+        "fk": PPFEngine(xmark_small.store, prefer_fk_joins=True),
+        "dewey": PPFEngine(xmark_small.store, prefer_fk_joins=False),
+    }
+
+
+@pytest.mark.parametrize("qid", _SHOWCASES)
+@pytest.mark.parametrize("variant", ["fk", "dewey"])
+def test_ablation_fk_query(benchmark, engines, qid, variant):
+    query = next(q for q in XPATHMARK_QUERIES if q.qid == qid)
+    benchmark.group = f"ablation-fk-{qid}"
+    count = benchmark.pedantic(
+        run_query,
+        args=(engines[variant], query.xpath),
+        rounds=3,
+        iterations=1,
+    )
+    assert count >= 0
+
+
+def test_ablation_fk_summary(benchmark, engines):
+    fk_engine = engines["fk"]
+    dewey_engine = engines["dewey"]
+
+    # Structural check on a query with a single-step child fragment.
+    fk_sql = fk_engine.translate(
+        "/site/open_auctions/open_auction[@id='open_auction0']/bidder"
+    ).sql
+    dewey_sql = dewey_engine.translate(
+        "/site/open_auctions/open_auction[@id='open_auction0']/bidder"
+    ).sql
+    assert ".par_id = open_auction.id" in fk_sql
+    assert ".par_id = open_auction.id" not in dewey_sql
+    assert "bidder.dewey_pos > open_auction.dewey_pos" in dewey_sql
+
+    seconds_fk = 0.0
+    seconds_dewey = 0.0
+    for query in XPATHMARK_QUERIES:
+        run_query(fk_engine, query.xpath)
+        run_query(dewey_engine, query.xpath)
+        s_fk, count_fk = time_engine(fk_engine, query.xpath, repeats=5)
+        s_dewey, count_dewey = time_engine(
+            dewey_engine, query.xpath, repeats=5
+        )
+        assert count_fk == count_dewey, query.qid
+        seconds_fk += s_fk
+        seconds_dewey += s_dewey
+
+    benchmark.pedantic(
+        run_query,
+        args=(fk_engine, "/site/people/person"),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print("Section 4.2 ablation (FK equijoin vs Dewey theta-join):")
+    print(
+        f"  total time: fk={seconds_fk * 1000:.1f}ms "
+        f"dewey={seconds_dewey * 1000:.1f}ms"
+    )
+    # FK joins must not lose by more than noise.
+    assert seconds_fk <= seconds_dewey * 1.25

@@ -1,0 +1,88 @@
+"""Ablation — the Section 4.5 path-filter omission.
+
+DESIGN.md calls out two explicit design choices; this bench isolates the
+first: with the U-P/F-P/I-P marking on (the paper's system), provably
+redundant `Paths` joins disappear from the SQL.  The bench verifies both
+the *structural* effect (fewer `Paths` joins across the whole query set)
+and the *performance* effect (no slower overall, typically faster).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PPFEngine
+from repro.bench.runner import run_query, time_engine
+from repro.workloads import XPATHMARK_QUERIES
+
+#: queries where Figure-1-style reasoning can drop filters (plain paths
+#: over non-recursive element names).
+_SHOWCASES = ["Q1", "Q2", "Q5", "Q10", "Q12", "Q23", "Q24"]
+
+
+@pytest.fixture(scope="module")
+def engines(xmark_small):
+    return {
+        "with_45": PPFEngine(xmark_small.store),
+        "without_45": PPFEngine(
+            xmark_small.store, path_filter_optimization=False
+        ),
+    }
+
+
+@pytest.mark.parametrize("qid", _SHOWCASES)
+@pytest.mark.parametrize("variant", ["with_45", "without_45"])
+def test_ablation_path_filter_query(benchmark, engines, qid, variant):
+    query = next(q for q in XPATHMARK_QUERIES if q.qid == qid)
+    engine = engines[variant]
+    benchmark.group = f"ablation-4.5-{qid}"
+    count = benchmark.pedantic(
+        run_query, args=(engine, query.xpath), rounds=3, iterations=1
+    )
+    assert count >= 0
+
+
+def test_ablation_path_filter_summary(benchmark, engines):
+    with_opt = engines["with_45"]
+    without_opt = engines["without_45"]
+
+    filters_with = 0
+    filters_without = 0
+    seconds_with = 0.0
+    seconds_without = 0.0
+    for query in XPATHMARK_QUERIES:
+        filters_with += with_opt.translate(query.xpath).path_filter_count()
+        filters_without += without_opt.translate(
+            query.xpath
+        ).path_filter_count()
+        # Warm both engines (regex/statement caches) before timing.
+        run_query(with_opt, query.xpath)
+        run_query(without_opt, query.xpath)
+        s_with, count_with = time_engine(with_opt, query.xpath, repeats=5)
+        s_without, count_without = time_engine(
+            without_opt, query.xpath, repeats=5
+        )
+        assert count_with == count_without, query.qid  # same answers
+        seconds_with += s_with
+        seconds_without += s_without
+
+    benchmark.pedantic(
+        run_query,
+        args=(with_opt, "/site/regions/*/item"),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print("Section 4.5 ablation over the XPathMark set:")
+    print(
+        f"  Paths joins emitted: {filters_with} (marking on) vs "
+        f"{filters_without} (Algorithm 1 literal)"
+    )
+    print(
+        f"  total time: {seconds_with * 1000:.1f}ms vs "
+        f"{seconds_without * 1000:.1f}ms"
+    )
+    # The marking must remove a substantial share of the filters ...
+    assert filters_with < filters_without * 0.5
+    # ... without hurting performance.
+    assert seconds_with <= seconds_without * 1.25

@@ -1,0 +1,104 @@
+"""Figure 3 — schema-aware vs schema-oblivious (Edge-like) PPF processing.
+
+The paper's Figure 3 compares the same PPF translation algorithm over the
+schema-aware mapping and over an Edge-like central relation, on the XMark
+queries (both document sizes) and the DBLP queries.  The headline
+finding: apportioning content into per-type relations wins, most
+dramatically on structural-join queries (Q6, Q7, Q-A, QD2, QD5).
+
+Per-query timings go through pytest-benchmark; the summary tests print
+the Figure 3 table and assert the aggregate ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import measure, run_query
+from repro.bench.report import format_table
+from repro.workloads import DBLP_QUERIES, XPATHMARK_QUERIES
+
+_FIG3_ENGINES = ["ppf", "edge_ppf"]
+
+
+@pytest.mark.parametrize("engine_name", _FIG3_ENGINES)
+@pytest.mark.parametrize("query", XPATHMARK_QUERIES, ids=lambda q: q.qid)
+def test_fig3_xmark_query(benchmark, xmark_small, query, engine_name):
+    engine = xmark_small.engines[engine_name]
+    benchmark.group = f"fig3-xmark-{query.qid}"
+    count = benchmark.pedantic(
+        run_query, args=(engine, query.xpath), rounds=3, iterations=1
+    )
+    assert count >= 0
+
+
+@pytest.mark.parametrize("engine_name", _FIG3_ENGINES)
+@pytest.mark.parametrize("query", DBLP_QUERIES, ids=lambda q: q.qid)
+def test_fig3_dblp_query(benchmark, dblp, query, engine_name):
+    engine = dblp.engines[engine_name]
+    benchmark.group = f"fig3-dblp-{query.qid}"
+    count = benchmark.pedantic(
+        run_query, args=(engine, query.xpath), rounds=3, iterations=1
+    )
+    assert count >= 0
+
+
+def test_fig3_summary_small(benchmark, xmark_small):
+    """Aggregate: schema-aware PPF beats Edge-like PPF overall, and on
+    the structural-join queries the paper highlights."""
+    results = measure(
+        xmark_small, XPATHMARK_QUERIES, engine_names=_FIG3_ENGINES, repeats=3
+    )
+    benchmark.pedantic(
+        run_query,
+        args=(xmark_small.engines["ppf"], "/site/regions/*/item"),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(format_table("Figure 3 — XMark-like (small)", results))
+    totals = _totals(results)
+    assert totals["ppf"] < totals["edge_ppf"]
+    by_key = {(r.qid, r.engine): r.seconds for r in results}
+    for qid in ("Q6", "Q7", "QA"):
+        assert by_key[(qid, "ppf")] <= by_key[(qid, "edge_ppf")] * 1.25, qid
+
+
+def test_fig3_summary_large(benchmark, xmark_large):
+    results = measure(
+        xmark_large, XPATHMARK_QUERIES, engine_names=_FIG3_ENGINES, repeats=2
+    )
+    benchmark.pedantic(
+        run_query,
+        args=(xmark_large.engines["ppf"], "/site/regions/*/item"),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(format_table("Figure 3 — XMark-like (large)", results))
+    totals = _totals(results)
+    assert totals["ppf"] < totals["edge_ppf"]
+
+
+def test_fig3_summary_dblp(benchmark, dblp):
+    results = measure(
+        dblp, DBLP_QUERIES, engine_names=_FIG3_ENGINES, repeats=3
+    )
+    benchmark.pedantic(
+        run_query,
+        args=(dblp.engines["ppf"], DBLP_QUERIES[2].xpath),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(format_table("Figure 3 — DBLP-like", results))
+    totals = _totals(results)
+    assert totals["ppf"] < totals["edge_ppf"]
+
+
+def _totals(results):
+    totals: dict[str, float] = {}
+    for result in results:
+        if result.available:
+            totals[result.engine] = totals.get(result.engine, 0.0) + result.seconds
+    return totals

@@ -1,0 +1,67 @@
+"""Appendix C (table 2) — the engine comparison on the DBLP workload.
+
+The paper's standout rows: PPF wins QD1/QD3/QD4 outright, QD4 by nearly
+two orders of magnitude over MonetDB and the accelerator (its predicate
+is a backward simple path handled purely by path-id filtering, Table
+5-2), and the accelerator fails to finish QD5 at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper import PAPER_DBLP
+from repro.bench.report import format_table
+from repro.bench.runner import measure, run_query
+from repro.workloads import DBLP_QUERIES
+
+_ENGINES = ["ppf", "edge_ppf", "native", "accel"]
+
+
+def _bench_cases():
+    for query in DBLP_QUERIES:
+        for engine_name in _ENGINES:
+            yield pytest.param(
+                query, engine_name, id=f"{query.qid}-{engine_name}"
+            )
+
+
+@pytest.mark.parametrize("query, engine_name", list(_bench_cases()))
+def test_fig4_dblp_query(benchmark, dblp, query, engine_name):
+    engine = dblp.engines[engine_name]
+    benchmark.group = f"fig4-dblp-{query.qid}"
+    count = benchmark.pedantic(
+        run_query, args=(engine, query.xpath), rounds=3, iterations=1
+    )
+    assert count >= 0
+
+
+def test_fig4_dblp_summary(benchmark, dblp):
+    results = measure(dblp, DBLP_QUERIES, engine_names=_ENGINES, repeats=3)
+    benchmark.pedantic(
+        run_query,
+        args=(dblp.engines["ppf"], DBLP_QUERIES[3].xpath),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            f"Appendix C — DBLP-like ({dblp.element_count()} elements)",
+            results,
+            PAPER_DBLP,
+        )
+    )
+    by_key = {(r.qid, r.engine): r.seconds for r in results if r.available}
+    totals: dict[str, float] = {}
+    for result in results:
+        if result.available:
+            totals[result.engine] = (
+                totals.get(result.engine, 0.0) + result.seconds
+            )
+    # Aggregate shape: PPF leads the SQL competitors.
+    assert totals["ppf"] < totals["edge_ppf"]
+    assert totals["ppf"] < totals["accel"]
+    # QD4 — the paper's backward-path-filtering showcase — must be one of
+    # PPF's cheapest queries and beat the accelerator comfortably.
+    assert by_key[("QD4", "ppf")] <= by_key[("QD4", "accel")]

@@ -1,0 +1,60 @@
+"""Auction-site scenario: the paper's XMark-style workload end to end.
+
+Generates a synthetic auction site, shreds it three ways (schema-aware,
+Edge, XPath Accelerator) and walks through the XPathMark queries the
+paper evaluates, printing the PPF SQL and a small timing comparison.
+
+Run with::
+
+    python examples/auction_site.py [scale]
+"""
+
+import sys
+import time
+
+from repro import NativeEngine
+from repro.bench.runner import build_xmark_bundle
+from repro.workloads import XPATHMARK_QUERIES, xpathmark_query
+
+
+def main(scale: float = 4.0) -> None:
+    print(f"generating XMark-like document at scale {scale} ...")
+    bundle = build_xmark_bundle(scale=scale)
+    print(f"  {bundle.element_count()} elements, "
+          f"{len(bundle.store.path_index)} distinct root-to-node paths, "
+          f"{len(bundle.store.mapping.relations)} relations")
+
+    # The showcase translation: the PPF engine collapses this whole path
+    # and its predicate without a single structural join beyond the one
+    # the value test needs.
+    showcase = xpathmark_query("Q5")
+    ppf = bundle.engines["ppf"]
+    print(f"\nshowcase {showcase.qid}: {showcase.xpath}")
+    print(ppf.explain(showcase.xpath))
+
+    print("\nper-query timings (PPF vs Edge-PPF vs native walker):")
+    native = bundle.engines["native"]
+    assert isinstance(native, NativeEngine)
+    header = f"{'query':<6}{'results':>8}{'ppf':>12}{'edge_ppf':>12}{'native':>12}"
+    print(header)
+    print("-" * len(header))
+    for query in XPATHMARK_QUERIES:
+        row = [query.qid]
+        counts = set()
+        cells = []
+        for name in ("ppf", "edge_ppf", "native"):
+            engine = bundle.engines[name]
+            engine.execute(query.xpath)  # warm-up
+            start = time.perf_counter()
+            result = engine.execute(query.xpath)
+            elapsed = (time.perf_counter() - start) * 1000
+            counts.add(len(result))
+            cells.append(f"{elapsed:>10.2f}ms")
+        assert len(counts) == 1, f"{query.qid}: engines disagree!"
+        print(f"{query.qid:<6}{counts.pop():>8}" + "".join(cells))
+
+    print("\nall engines returned identical result sets.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 4.0)

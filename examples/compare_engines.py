@@ -1,0 +1,56 @@
+"""Reproduce the paper's Appendix C comparison at a chosen scale.
+
+Prints the measured table with the paper's own series interleaved and a
+shape report (where the measured ordering matches the published one).
+
+Run with::
+
+    python examples/compare_engines.py [scale]
+"""
+
+import sys
+
+from repro.bench import (
+    PAPER_XMARK_SMALL,
+    build_xmark_bundle,
+    format_table,
+    shape_check,
+)
+from repro.bench.runner import measure
+from repro.workloads import XPATHMARK_QUERIES
+from repro.workloads.xpathmark import COMMERCIAL_SUPPORTED
+
+
+def main(scale: float = 10.0) -> None:
+    print(f"building stores at scale {scale} ...")
+    bundle = build_xmark_bundle(scale=scale)
+    print(f"  {bundle.element_count()} elements")
+    skip = {
+        "commercial": {q.qid for q in XPATHMARK_QUERIES}
+        - COMMERCIAL_SUPPORTED
+    }
+    results = measure(bundle, XPATHMARK_QUERIES, repeats=3, skip=skip)
+    print()
+    print(
+        format_table(
+            "XMark-like comparison (paper series in parentheses)",
+            results,
+            PAPER_XMARK_SMALL,
+        )
+    )
+    deviations = shape_check(results, PAPER_XMARK_SMALL, tolerance=1.0)
+    print(
+        f"\nshape deviations from the paper (2x tolerance): "
+        f"{len(deviations)}"
+    )
+    for deviation in deviations:
+        print("  " + deviation)
+
+    from repro.bench.figures import bar_chart
+
+    print()
+    print(bar_chart("Figure 4 (measured, log bars)", results))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 10.0)

@@ -1,0 +1,116 @@
+"""repro — PPF-based XPath execution on relational systems.
+
+A full reproduction of "Improving the Efficiency of XPath Execution on
+Relational Systems" (Georgiadis & Vassalos, EDBT 2006): schema-aware and
+schema-oblivious XML shredding into SQLite, Dewey-encoded structural
+joins, a root-to-node path index with regular-expression filtering, the
+PPF-based XPath-to-SQL translator, the baselines the paper compares
+against, and the benchmark workloads of its evaluation.
+
+Quickstart::
+
+    from repro import (
+        parse_document, infer_schema, Database, ShreddedStore, PPFEngine,
+    )
+
+    doc = parse_document(xml_text)
+    schema = infer_schema([doc])
+    store = ShreddedStore.create(Database.memory(), schema)
+    store.load(doc)
+    engine = PPFEngine(store)
+    print(engine.explain("/site/regions/*/item"))
+    for row in engine.execute("/site/regions/*/item"):
+        print(row.id, row.dewey_pos)
+"""
+
+from repro.errors import (
+    DeweyError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    TranslationError,
+    UnsupportedXPathError,
+    XMLParseError,
+    XPathSyntaxError,
+)
+from repro.xmltree import (
+    Document,
+    DocumentBuilder,
+    ElementNode,
+    TextNode,
+    parse_document,
+    parse_fragment,
+    serialize,
+)
+from repro.schema import (
+    PathClass,
+    Schema,
+    SchemaMarking,
+    infer_schema,
+    parse_dtd,
+    parse_xsd,
+)
+from repro.schema.model import figure1_schema
+from repro.xpath import parse_xpath
+from repro.storage import (
+    AccelStore,
+    Database,
+    EdgeStore,
+    PathIndex,
+    ShreddedStore,
+)
+from repro.core import (
+    EdgePPFEngine,
+    PPFEngine,
+    PPFTranslator,
+    QueryResult,
+    TranslationResult,
+)
+from repro.baselines import (
+    AccelEngine,
+    NaiveEngine,
+    NativeEngine,
+    evaluate_xpath,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccelEngine",
+    "AccelStore",
+    "Database",
+    "DeweyError",
+    "Document",
+    "DocumentBuilder",
+    "EdgePPFEngine",
+    "EdgeStore",
+    "ElementNode",
+    "NaiveEngine",
+    "NativeEngine",
+    "PPFEngine",
+    "PPFTranslator",
+    "PathClass",
+    "PathIndex",
+    "QueryResult",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SchemaMarking",
+    "ShreddedStore",
+    "StorageError",
+    "TextNode",
+    "TranslationError",
+    "TranslationResult",
+    "UnsupportedXPathError",
+    "XMLParseError",
+    "XPathSyntaxError",
+    "evaluate_xpath",
+    "figure1_schema",
+    "infer_schema",
+    "parse_document",
+    "parse_dtd",
+    "parse_fragment",
+    "parse_xpath",
+    "parse_xsd",
+    "serialize",
+]

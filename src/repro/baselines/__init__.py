@@ -1,0 +1,25 @@
+"""Baseline engines the paper compares against.
+
+* :class:`repro.baselines.native.NativeEngine` — an in-memory XPath
+  evaluator over the parsed tree.  It is the correctness oracle for every
+  SQL engine and stands in for MonetDB/XQuery in the benchmark tables
+  (see DESIGN.md, substitutions).
+* :class:`repro.baselines.accel_translator.AccelEngine` — the XPath
+  Accelerator translation (pre/post window self-joins).
+* :class:`repro.baselines.naive.NaiveEngine` — conventional per-step
+  join translation with SQL splitting (the Section 4.4 strawman and the
+  commercial-RDBMS stand-in).
+"""
+
+from repro.baselines.native import NativeEngine, evaluate_xpath
+from repro.baselines.accel_translator import AccelEngine, AccelTranslator
+from repro.baselines.naive import NaiveEngine, NaiveTranslator
+
+__all__ = [
+    "AccelEngine",
+    "AccelTranslator",
+    "NaiveEngine",
+    "NaiveTranslator",
+    "NativeEngine",
+    "evaluate_xpath",
+]

@@ -1,0 +1,583 @@
+"""Native in-memory XPath evaluator (the library's correctness oracle).
+
+Implements XPath 1.0 semantics for the supported subset directly over the
+:mod:`repro.xmltree` tree: all twelve axes, node tests, nested predicates
+with positional semantics, the function library, comparisons with the
+XPath coercion rules, arithmetic and union.
+
+Besides serving as the oracle every SQL engine is tested against, this
+engine stands in for MonetDB/XQuery in the reproduced benchmark tables
+(DESIGN.md, substitutions): it plays the same role — a competitor that
+does not translate to SQL — on identical queries.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import UnsupportedXPathError
+from repro.xmltree.nodes import (
+    AttributeNode,
+    Document,
+    ElementNode,
+    Node,
+    TextNode,
+)
+from repro.xpath.ast import (
+    AndExpr,
+    ArithmeticExpr,
+    Comparison,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeKindTest,
+    NotExpr,
+    NumberLiteral,
+    OrExpr,
+    PathExpr,
+    Step,
+    StringLiteral,
+    TextTest,
+    UnionExpr,
+    XPathExpr,
+)
+from repro.xpath.axes import Axis
+from repro.xpath.parser import parse_xpath
+
+
+class _DocumentRoot:
+    """Sentinel node standing for the document node above the root
+    element (the context of absolute paths)."""
+
+    __slots__ = ("document",)
+
+    def __init__(self, document: Document):
+        self.document = document
+
+
+ResultNode = Union[ElementNode, AttributeNode, TextNode]
+Value = Union[float, str, bool, list]
+
+
+class NativeEngine:
+    """Evaluates XPath expressions over one parsed document."""
+
+    def __init__(self, document: Document):
+        self.document = document
+        self._order: dict[int, float] = {}
+        self._build_order_index()
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, expression: Union[str, XPathExpr]) -> list[ResultNode]:
+        """Evaluate and return the result node-set in document order.
+
+        :raises UnsupportedXPathError: when the expression's value is not
+            a node-set (e.g. a bare arithmetic expression).
+        """
+        ast = (
+            parse_xpath(expression)
+            if isinstance(expression, str)
+            else expression
+        )
+        value = self._evaluate(ast, self._root_context())
+        if not isinstance(value, list):
+            raise UnsupportedXPathError(
+                "top-level expression does not produce a node-set"
+            )
+        return value
+
+    def execute_value(self, expression: Union[str, XPathExpr]) -> Value:
+        """Evaluate and return the raw XPath value (node-set, number,
+        string or boolean)."""
+        ast = (
+            parse_xpath(expression)
+            if isinstance(expression, str)
+            else expression
+        )
+        return self._evaluate(ast, self._root_context())
+
+    # -- document order ---------------------------------------------------------
+
+    def _build_order_index(self) -> None:
+        """Assign every element and text node a document-order key;
+        attributes order immediately after their owner element.
+        Iterative so arbitrarily deep documents index fine."""
+        counter = 0
+        stack: list[Node] = [self.document.root]
+        while stack:
+            node = stack.pop()
+            counter += 1
+            self._order[id(node)] = float(counter)
+            if isinstance(node, ElementNode):
+                stack.extend(reversed(node.children))
+
+    def order_key(self, node: ResultNode) -> float:
+        """Document-order sort key of a result node."""
+        if isinstance(node, AttributeNode):
+            index = list(node.owner.attributes).index(node.name)
+            return self._order[id(node.owner)] + (index + 1) / 1000.0
+        return self._order[id(node)]
+
+    def sort_nodes(self, nodes: list[ResultNode]) -> list[ResultNode]:
+        """Deduplicate and sort a node list into document order."""
+        unique: dict[float, ResultNode] = {}
+        for node in nodes:
+            unique.setdefault(self.order_key(node), node)
+        return [unique[key] for key in sorted(unique)]
+
+    # -- evaluation core ------------------------------------------------------------
+
+    def _root_context(self) -> _DocumentRoot:
+        return _DocumentRoot(self.document)
+
+    def _evaluate(self, expr: XPathExpr, context) -> Value:
+        if isinstance(expr, PathExpr):
+            return self._evaluate_path(expr.path, context)
+        if isinstance(expr, UnionExpr):
+            merged: list[ResultNode] = []
+            for branch in expr.branches:
+                value = self._evaluate(branch, context)
+                if not isinstance(value, list):
+                    raise UnsupportedXPathError(
+                        "union branch is not a node-set"
+                    )
+                merged.extend(value)
+            return self.sort_nodes(merged)
+        if isinstance(expr, OrExpr):
+            return self._boolean(
+                self._evaluate(expr.left, context)
+            ) or self._boolean(self._evaluate(expr.right, context))
+        if isinstance(expr, AndExpr):
+            return self._boolean(
+                self._evaluate(expr.left, context)
+            ) and self._boolean(self._evaluate(expr.right, context))
+        if isinstance(expr, NotExpr):
+            return not self._boolean(self._evaluate(expr.operand, context))
+        if isinstance(expr, Comparison):
+            return self._compare(
+                expr.op,
+                self._evaluate(expr.left, context),
+                self._evaluate(expr.right, context),
+            )
+        if isinstance(expr, ArithmeticExpr):
+            left = self._number(self._evaluate(expr.left, context))
+            right = self._number(self._evaluate(expr.right, context))
+            return _arithmetic(expr.op, left, right)
+        if isinstance(expr, NumberLiteral):
+            return expr.value
+        if isinstance(expr, StringLiteral):
+            return expr.value
+        if isinstance(expr, FunctionCall):
+            return self._call(expr, context)
+        raise UnsupportedXPathError(f"cannot evaluate {expr!r}")
+
+    def _call(self, call: FunctionCall, context) -> Value:
+        if call.name == "count":
+            value = self._evaluate(call.args[0], context)
+            if not isinstance(value, list):
+                raise UnsupportedXPathError("count() needs a node-set")
+            return float(len(value))
+        if call.name == "contains":
+            haystack = self._string(self._evaluate(call.args[0], context))
+            needle = self._string(self._evaluate(call.args[1], context))
+            return needle in haystack
+        if call.name == "starts-with":
+            haystack = self._string(self._evaluate(call.args[0], context))
+            needle = self._string(self._evaluate(call.args[1], context))
+            return haystack.startswith(needle)
+        if call.name == "string-length":
+            return float(
+                len(self._string(self._evaluate(call.args[0], context)))
+            )
+        if call.name in ("position", "last"):
+            raise UnsupportedXPathError(
+                f"{call.name}() used outside a predicate"
+            )
+        raise UnsupportedXPathError(f"unknown function {call.name}()")
+
+    # -- path evaluation ----------------------------------------------------------
+
+    def _evaluate_path(self, path: LocationPath, context) -> list[ResultNode]:
+        if path.absolute:
+            current: list = [self._root_context()]
+        else:
+            current = [context]
+        for step in path.steps:
+            selected: list[ResultNode] = []
+            for node in current:
+                selected.extend(self._apply_step(step, node))
+            current = self.sort_nodes(selected)
+        # A zero-step absolute path ('/') denotes the document node, which
+        # has no relational counterpart; expose the root element instead.
+        if path.absolute and not path.steps:
+            return [self.document.root]
+        return [n for n in current if not isinstance(n, _DocumentRoot)]
+
+    def _apply_step(self, step: Step, node) -> list[ResultNode]:
+        candidates = self._axis_nodes(step.axis, node)
+        matched = [c for c in candidates if _node_test(step.node_test, c)]
+        for predicate in step.predicates:
+            matched = self._filter_predicate(matched, predicate, step.axis)
+        return matched
+
+    def _filter_predicate(
+        self, nodes: list[ResultNode], predicate: XPathExpr, axis: Axis
+    ) -> list[ResultNode]:
+        # Axis functions emit nodes in *proximity* order (XPath 1.0
+        # section 2.4: reverse document order for backward axes), so the
+        # proximity position is simply the index.
+        size = len(nodes)
+        kept: list[ResultNode] = []
+        for index, node in enumerate(nodes):
+            position = index + 1
+            value = self._evaluate_with_position(
+                predicate, node, position, size
+            )
+            if isinstance(value, float):
+                keep = position == value
+            else:
+                keep = self._boolean(value)
+            if keep:
+                kept.append(node)
+        return kept
+
+    def _evaluate_with_position(
+        self, expr: XPathExpr, node, position: int, size: int
+    ) -> Value:
+        if isinstance(expr, FunctionCall) and expr.name == "position":
+            return float(position)
+        if isinstance(expr, FunctionCall) and expr.name == "last":
+            return float(size)
+        if isinstance(expr, (OrExpr, AndExpr)):
+            left = self._boolean(
+                self._evaluate_with_position(
+                    expr.left, node, position, size
+                )
+            )
+            if isinstance(expr, OrExpr):
+                return left or self._boolean(
+                    self._evaluate_with_position(
+                        expr.right, node, position, size
+                    )
+                )
+            return left and self._boolean(
+                self._evaluate_with_position(expr.right, node, position, size)
+            )
+        if isinstance(expr, NotExpr):
+            return not self._boolean(
+                self._evaluate_with_position(
+                    expr.operand, node, position, size
+                )
+            )
+        if isinstance(expr, Comparison):
+            return self._compare(
+                expr.op,
+                self._evaluate_with_position(
+                    expr.left, node, position, size
+                ),
+                self._evaluate_with_position(
+                    expr.right, node, position, size
+                ),
+            )
+        if isinstance(expr, ArithmeticExpr):
+            left = self._number(
+                self._evaluate_with_position(expr.left, node, position, size)
+            )
+            right = self._number(
+                self._evaluate_with_position(
+                    expr.right, node, position, size
+                )
+            )
+            return _arithmetic(expr.op, left, right)
+        return self._evaluate(expr, node)
+
+    # -- axes -------------------------------------------------------------------------
+
+    def _axis_nodes(self, axis: Axis, node) -> list:
+        if isinstance(node, _DocumentRoot):
+            return self._document_axis(axis, node)
+        if isinstance(node, (AttributeNode, TextNode)):
+            return self._leaf_axis(axis, node)
+        return self._element_axis(axis, node)
+
+    def _document_axis(self, axis: Axis, node: _DocumentRoot) -> list:
+        root = node.document.root
+        if axis is Axis.CHILD:
+            return [root]
+        if axis is Axis.DESCENDANT:
+            return list(root.iter())
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return [node, *root.iter()]
+        if axis is Axis.SELF:
+            return [node]
+        return []
+
+    def _leaf_axis(self, axis: Axis, node) -> list:
+        owner = node.owner if isinstance(node, AttributeNode) else node.parent
+        if axis is Axis.SELF:
+            return [node]
+        if axis is Axis.PARENT:
+            return [owner] if owner is not None else []
+        if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+            result = self._element_axis(Axis.ANCESTOR_OR_SELF, owner) if owner else []
+            if axis is Axis.ANCESTOR_OR_SELF:
+                result = [node, *result]
+            return result
+        return []
+
+    def _element_axis(self, axis: Axis, element: ElementNode) -> list:
+        if axis is Axis.CHILD:
+            return list(element.children)
+        if axis is Axis.DESCENDANT:
+            return [*_descendants(element)]
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return [element, *_descendants(element)]
+        if axis is Axis.SELF:
+            return [element]
+        if axis is Axis.PARENT:
+            if element.parent is None:
+                return [self._root_context()]
+            return [element.parent]
+        if axis is Axis.ANCESTOR:
+            return _ancestors(element)
+        if axis is Axis.ANCESTOR_OR_SELF:
+            return [element, *_ancestors(element)]
+        if axis is Axis.ATTRIBUTE:
+            return element.attribute_nodes()
+        if axis is Axis.FOLLOWING_SIBLING:
+            return _siblings(element, after=True)
+        if axis is Axis.PRECEDING_SIBLING:
+            # proximity order: nearest sibling first
+            return list(reversed(_siblings(element, after=False)))
+        if axis is Axis.FOLLOWING:
+            return self._following(element)
+        if axis is Axis.PRECEDING:
+            return self._preceding(element)
+        raise UnsupportedXPathError(f"axis {axis} not supported")
+
+    def _following(self, element: ElementNode) -> list[ResultNode]:
+        # Everything after the context subtree; ancestors are all earlier
+        # in document order so no explicit exclusion is needed.
+        end = self._subtree_end(element)
+        return [n for n in self._all_nodes() if self.order_key(n) > end]
+
+    def _preceding(self, element: ElementNode) -> list[ResultNode]:
+        ancestors = set(id(a) for a in _ancestors(element))
+        key = self.order_key(element)
+        result = []
+        for node in self._all_nodes():
+            if self.order_key(node) >= key:
+                break
+            if id(node) in ancestors:
+                continue
+            # Exclude ancestors only; descendants of preceding nodes stay.
+            result.append(node)
+        # proximity order: nearest (latest in document order) first
+        result.reverse()
+        return result
+
+    def _subtree_end(self, element: ElementNode) -> float:
+        """Largest order key inside ``element``'s subtree."""
+        end = self.order_key(element)
+        for child in element.children:
+            if isinstance(child, TextNode):
+                end = max(end, self.order_key(child))
+            else:
+                end = max(end, self._subtree_end(child))
+        return end
+
+    def _all_nodes(self) -> list[ResultNode]:
+        nodes: list[ResultNode] = []
+
+        def visit(element: ElementNode) -> None:
+            nodes.append(element)
+            for child in element.children:
+                if isinstance(child, TextNode):
+                    nodes.append(child)
+                else:
+                    visit(child)
+
+        visit(self.document.root)
+        return nodes
+
+    # -- coercions ------------------------------------------------------------------------
+
+    def _boolean(self, value: Value) -> bool:
+        if isinstance(value, list):
+            return bool(value)
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            return value != 0.0
+        return bool(value)
+
+    def _string(self, value: Value) -> str:
+        if isinstance(value, list):
+            return _string_value(value[0]) if value else ""
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float):
+            if value == int(value):
+                return str(int(value))
+            return repr(value)
+        return value
+
+    def _number(self, value: Value) -> float:
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, float):
+            return value
+        try:
+            return float(self._string(value))
+        except ValueError:
+            return float("nan")
+
+    def _compare(self, op: str, left: Value, right: Value) -> bool:
+        if isinstance(left, list) and isinstance(right, list):
+            left_values = {_string_value(n) for n in left}
+            right_values = {_string_value(n) for n in right}
+            if op in ("=", "!="):
+                if op == "=":
+                    return bool(left_values & right_values)
+                return any(
+                    l != r for l in left_values for r in right_values
+                )
+            return any(
+                _compare_atomic(op, _to_number(l), _to_number(r))
+                for l in left_values
+                for r in right_values
+            )
+        if isinstance(left, list) or isinstance(right, list):
+            nodes, other, flipped = (
+                (left, right, False)
+                if isinstance(left, list)
+                else (right, left, True)
+            )
+            effective_op = _flip(op) if flipped else op
+            return any(
+                self._compare_node_atom(effective_op, node, other)
+                for node in nodes
+            )
+        if op in ("=", "!="):
+            if isinstance(left, float) or isinstance(right, float):
+                outcome = self._number(left) == self._number(right)
+            elif isinstance(left, bool) or isinstance(right, bool):
+                outcome = self._boolean(left) == self._boolean(right)
+            else:
+                outcome = left == right
+            return outcome if op == "=" else not outcome
+        return _compare_atomic(op, self._number(left), self._number(right))
+
+    def _compare_node_atom(self, op: str, node, atom: Value) -> bool:
+        text = _string_value(node)
+        if op in ("=", "!="):
+            if isinstance(atom, float):
+                outcome = _to_number(text) == atom
+            elif isinstance(atom, bool):
+                outcome = bool(text) == atom
+            else:
+                outcome = text == atom
+            return outcome if op == "=" else not outcome
+        return _compare_atomic(op, _to_number(text), self._number(atom))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _descendants(element: ElementNode):
+    for child in element.children:
+        if isinstance(child, TextNode):
+            yield child
+        else:
+            yield child
+            yield from _descendants(child)
+
+
+def _ancestors(element: ElementNode) -> list[ElementNode]:
+    chain = []
+    current = element.parent
+    while current is not None:
+        chain.append(current)
+        current = current.parent
+    return chain
+
+
+def _siblings(element: ElementNode, after: bool) -> list[Node]:
+    parent = element.parent
+    if parent is None:
+        return []
+    index = parent.children.index(element)
+    if after:
+        return list(parent.children[index + 1 :])
+    return list(parent.children[:index])
+
+
+def _node_test(test, node) -> bool:
+    if isinstance(test, NodeKindTest):
+        return True
+    if isinstance(test, TextTest):
+        return isinstance(node, TextNode)
+    if isinstance(test, NameTest):
+        if isinstance(node, (ElementNode, AttributeNode)):
+            return test.is_wildcard or node.name == test.name
+        return False
+    raise UnsupportedXPathError(f"unknown node test {test!r}")
+
+
+def _string_value(node) -> str:
+    if isinstance(node, ElementNode):
+        return node.string_value
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, TextNode):
+        return node.value
+    if isinstance(node, _DocumentRoot):
+        return node.document.root.string_value
+    raise UnsupportedXPathError(f"no string value for {node!r}")
+
+
+def _to_number(text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        return float("nan")
+
+
+def _compare_atomic(op: str, left: float, right: float) -> bool:
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise UnsupportedXPathError(f"unknown comparison {op!r}")
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[
+        op
+    ]
+
+
+def _arithmetic(op: str, left: float, right: float) -> float:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "div":
+        return left / right if right != 0 else float("inf")
+    if op == "mod":
+        return left % right if right != 0 else float("nan")
+    raise UnsupportedXPathError(f"unknown arithmetic operator {op!r}")
+
+
+def evaluate_xpath(document: Document, expression: str) -> list[ResultNode]:
+    """One-shot convenience: evaluate ``expression`` over ``document``."""
+    return NativeEngine(document).execute(expression)

@@ -1,0 +1,38 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 5).
+
+* :mod:`repro.bench.paper`  — the numbers the paper reports (Appendix C),
+* :mod:`repro.bench.runner` — workload setup + timing loops,
+* :mod:`repro.bench.report` — table rendering comparing measured series
+  against the paper's.
+"""
+
+from repro.bench.paper import (
+    PAPER_DBLP,
+    PAPER_XMARK_LARGE,
+    PAPER_XMARK_SMALL,
+    PaperRow,
+)
+from repro.bench.runner import (
+    BenchResult,
+    WorkloadBundle,
+    build_dblp_bundle,
+    build_xmark_bundle,
+    run_query,
+    time_engine,
+)
+from repro.bench.report import format_table, shape_check
+
+__all__ = [
+    "BenchResult",
+    "PAPER_DBLP",
+    "PAPER_XMARK_LARGE",
+    "PAPER_XMARK_SMALL",
+    "PaperRow",
+    "WorkloadBundle",
+    "build_dblp_bundle",
+    "build_xmark_bundle",
+    "format_table",
+    "run_query",
+    "shape_check",
+    "time_engine",
+]

@@ -1,0 +1,79 @@
+"""ASCII bar-chart rendering of benchmark comparisons.
+
+The paper's Figures 3 and 4 are grouped bar charts of per-query times;
+:func:`bar_chart` renders the measured equivalent in a terminal, one
+group per query, one bar per engine, log-squashed so the multi-order-of-
+magnitude spreads the comparison produces stay readable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.bench.runner import BenchResult
+
+#: glyph per engine column, in display order.
+_DEFAULT_LABELS = {
+    "ppf": "PPF      ",
+    "edge_ppf": "EdgePPF  ",
+    "native": "native   ",
+    "commercial": "naive    ",
+    "accel": "accel    ",
+}
+
+
+def _bar(seconds: float, smallest: float, width: int) -> str:
+    """Length grows with log10(time/smallest): equal times → 1 cell, each
+    10x → ``width / 4`` more cells (clamped)."""
+    if seconds <= 0:
+        return ""
+    ratio = max(seconds / smallest, 1.0)
+    cells = 1 + int(round(math.log10(ratio) * (width / 4)))
+    return "#" * min(cells, width)
+
+
+def bar_chart(
+    title: str,
+    results: Sequence[BenchResult],
+    engine_order: Optional[Sequence[str]] = None,
+    width: int = 40,
+) -> str:
+    """Render one grouped bar chart.
+
+    :param results: measured results (N/A rows are shown as ``n/a``).
+    :param engine_order: engines to draw, in order; defaults to the
+        paper's column order restricted to engines present.
+    :param width: maximum bar width in characters.
+    """
+    by_key = {(r.qid, r.engine): r for r in results}
+    qids = list(dict.fromkeys(r.qid for r in results))
+    engines = list(engine_order) if engine_order else [
+        e for e in _DEFAULT_LABELS if any(r.engine == e for r in results)
+    ]
+    available = [
+        r.seconds
+        for r in results
+        if r.available and r.engine in engines and r.seconds > 0
+    ]
+    if not available:
+        return f"{title}\n(no data)"
+    smallest = min(available)
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"(each '#' ≈ a quarter decade above the fastest measurement, "
+        f"{smallest * 1000:.2f}ms)"
+    )
+    for qid in qids:
+        lines.append(qid)
+        for engine in engines:
+            result = by_key.get((qid, engine))
+            label = _DEFAULT_LABELS.get(engine, f"{engine:<9}")
+            if result is None or not result.available:
+                lines.append(f"  {label}| n/a")
+                continue
+            bar = _bar(result.seconds, smallest, width)
+            lines.append(
+                f"  {label}|{bar} {result.seconds * 1000:.2f}ms"
+            )
+    return "\n".join(lines)

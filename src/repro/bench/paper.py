@@ -1,0 +1,91 @@
+"""The numbers the paper reports (Appendix C) as data.
+
+Times are seconds on the authors' testbed (Oracle 10g / MonetDB on a
+2005-era Pentium 4); ``None`` marks N/A (the commercial RDBMS supported
+only Q23, Q24 and Q-A) and ``math.inf`` the DBLP accelerator timeout
+(printed ``~`` in the paper).  The bench harness prints these series next
+to the measured ones and checks the *shape* — who wins and by what
+rough factor — not absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One query row of an Appendix C table."""
+
+    qid: str
+    nodes: int
+    ppf: float
+    edge_ppf: float
+    monetdb: float
+    commercial: Optional[float]
+    accel: Optional[float]
+
+
+#: Appendix C, table 1 — the 12 MB XMark document.
+PAPER_XMARK_SMALL: list[PaperRow] = [
+    PaperRow("Q1", 2175, 0.06, 0.49, 0.85, None, 0.68),
+    PaperRow("Q2", 361, 0.09, 0.15, 0.54, None, 0.31),
+    PaperRow("Q3", 7014, 0.06, 1.11, 0.57, None, 0.98),
+    PaperRow("Q4", 3514, 0.21, 0.24, 0.46, None, 8.86),
+    PaperRow("Q5", 1100, 0.07, 0.20, 1.01, None, 0.83),
+    PaperRow("Q6", 2778, 0.18, 2.80, 0.76, None, 0.20),
+    PaperRow("Q7", 883, 0.12, 1.20, 0.46, None, 0.18),
+    PaperRow("Q9", 3, 0.11, 0.67, 0.51, None, 0.90),
+    PaperRow("Q10", 2174, 0.09, 0.52, 0.59, None, 1.36),
+    PaperRow("Q11", 1, 0.17, 0.58, 0.65, None, 1.24),
+    PaperRow("Q12", 227, 0.06, 0.76, 0.71, None, 0.71),
+    PaperRow("Q13", 6025, 0.22, 1.15, 1.10, None, 0.96),
+    PaperRow("Q21", 1, 0.09, 0.40, 0.60, None, 1.53),
+    PaperRow("Q22", 1100, 0.27, 0.31, 0.57, None, 0.57),
+    PaperRow("Q23", 952, 0.24, 0.54, 0.54, 0.42, 1.48),
+    PaperRow("Q24", 1304, 0.09, 0.82, 0.56, 0.53, 0.59),
+    PaperRow("QA", 8, 0.18, 0.42, 1.40, 1.48, 0.96),
+]
+
+#: Appendix C, table 1 — the 113 MB XMark document.
+PAPER_XMARK_LARGE: list[PaperRow] = [
+    PaperRow("Q1", 21750, 0.48, 1.26, 0.85, None, 3.40),
+    PaperRow("Q2", 4127, 0.22, 0.69, 1.125, None, 3.04),
+    PaperRow("Q3", 69969, 0.79, 1.52, 0.54, None, 6.84),
+    PaperRow("Q4", 34879, 0.41, 1.24, 0.73, None, 4.34),
+    PaperRow("Q5", 11000, 0.14, 0.36, 21.28, None, 2.57),
+    PaperRow("Q6", 27878, 1.35, 22.10, 0.76, None, 4.60),
+    PaperRow("Q7", 8884, 0.62, 2.65, 0.93, None, 3.70),
+    PaperRow("Q9", 8, 0.20, 0.92, 0.78, None, 3.71),
+    PaperRow("Q10", 21749, 0.35, 0.68, 1.42, None, 25.18),
+    PaperRow("Q11", 0, 0.42, 0.65, 4.43, None, 14.17),
+    PaperRow("Q12", 2210, 0.11, 3.91, 3.20, None, 5.29),
+    PaperRow("Q13", 60250, 0.87, 7.11, 8.17, None, 6.53),
+    PaperRow("Q21", 1, 0.23, 0.75, 0.93, None, 14.15),
+    PaperRow("Q22", 11000, 0.70, 0.85, 0.79, None, 2.22),
+    PaperRow("Q23", 9506, 0.50, 2.73, 0.73, 1.42, 3.69),
+    PaperRow("Q24", 12762, 0.20, 1.39, 1.04, 0.32, 3.42),
+    PaperRow("QA", 64, 1.39, 8.67, 3.20, 3.03, 11.20),
+]
+
+#: Appendix C, table 2 — the 130 MB DBLP database ("~" = did not finish).
+PAPER_DBLP: list[PaperRow] = [
+    PaperRow("QD1", 2, 3.11, 7.60, 22.93, None, 18.53),
+    PaperRow("QD2", 465, 3.09, 53.71, 1.86, None, 114.88),
+    PaperRow("QD3", 577, 0.09, 1.89, 1.18, None, 15.97),
+    PaperRow("QD4", 1, 0.07, 0.16, 8.17, None, 8.15),
+    PaperRow("QD5", 12178, 4.58, 55.62, 5.18, None, math.inf),
+]
+
+
+def paper_row(table: list[PaperRow], qid: str) -> PaperRow:
+    """Look up a query's paper row.
+
+    :raises KeyError: for unknown ids.
+    """
+    for row in table:
+        if row.qid == qid:
+            return row
+    raise KeyError(f"no paper row for {qid!r}")

@@ -1,0 +1,111 @@
+"""Rendering of measured-vs-paper comparison tables and shape checks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.bench.paper import PaperRow
+from repro.bench.runner import BenchResult
+
+#: engine key -> (paper column attribute, printable header)
+_COLUMNS = [
+    ("ppf", "ppf", "PPF"),
+    ("edge_ppf", "edge_ppf", "EdgePPF"),
+    ("native", "monetdb", "native(MonetDB)"),
+    ("commercial", "commercial", "naive(Commerc.)"),
+    ("accel", "accel", "Accel"),
+]
+
+
+def _fmt_seconds(value: Optional[float], error: Optional[str] = None) -> str:
+    if error == "N/A":
+        return "N/A"
+    if error is not None:
+        return "ERR"
+    if value is None:
+        return "N/A"
+    if math.isinf(value):
+        return "~"
+    return f"{value * 1000:.1f}ms" if value < 1 else f"{value:.2f}s"
+
+
+def format_table(
+    title: str,
+    results: list[BenchResult],
+    paper_rows: Optional[list[PaperRow]] = None,
+) -> str:
+    """A fixed-width table: measured series, with the paper's series
+    interleaved underneath when available."""
+    by_key = {(r.qid, r.engine): r for r in results}
+    qids = list(dict.fromkeys(r.qid for r in results))
+    lines = [title, "=" * len(title)]
+    header = f"{'query':<6}{'nodes':>8} " + "".join(
+        f"{label:>17}" for _, _, label in _COLUMNS
+    )
+    lines.append(header)
+    paper_by_qid = {row.qid: row for row in (paper_rows or [])}
+    for qid in qids:
+        counts = [
+            by_key[(qid, key)].result_count
+            for key, _, _ in _COLUMNS
+            if (qid, key) in by_key and by_key[(qid, key)].available
+        ]
+        count = counts[0] if counts else 0
+        cells = []
+        for key, _, _ in _COLUMNS:
+            result = by_key.get((qid, key))
+            if result is None:
+                cells.append(f"{'-':>17}")
+            else:
+                cells.append(f"{_fmt_seconds(result.seconds, result.error):>17}")
+        lines.append(f"{qid:<6}{count:>8} " + "".join(cells))
+        paper = paper_by_qid.get(qid)
+        if paper is not None:
+            paper_cells = []
+            for _, attr, _ in _COLUMNS:
+                value = getattr(paper, attr)
+                paper_cells.append(f"{'(' + _fmt_seconds(value) + ')':>17}")
+            lines.append(f"{'':<6}{paper.nodes:>8} " + "".join(paper_cells))
+    return "\n".join(lines)
+
+
+def shape_check(
+    results: list[BenchResult],
+    paper_rows: list[PaperRow],
+    tolerance: float = 0.0,
+) -> list[str]:
+    """Compare the *shape* of the measured table with the paper's.
+
+    For every query where the paper's PPF beats a competitor, check that
+    the measured PPF time does not exceed the measured competitor's by
+    more than ``tolerance`` (0 = must also win).  Returns a list of
+    human-readable deviations (empty = shape reproduced).
+    """
+    by_key = {(r.qid, r.engine): r for r in results}
+    deviations = []
+    for paper in paper_rows:
+        measured_ppf = by_key.get((paper.qid, "ppf"))
+        if measured_ppf is None or not measured_ppf.available:
+            continue
+        for key, attr, _ in _COLUMNS:
+            if key == "ppf":
+                continue
+            paper_other = getattr(paper, attr)
+            measured_other = by_key.get((paper.qid, key))
+            if (
+                paper_other is None
+                or measured_other is None
+                or not measured_other.available
+            ):
+                continue
+            if paper.ppf < paper_other:  # the paper's PPF wins here
+                allowed = measured_other.seconds * (1.0 + tolerance)
+                if measured_ppf.seconds > allowed:
+                    deviations.append(
+                        f"{paper.qid}: paper has PPF < {key} "
+                        f"({paper.ppf:.2f}s vs {paper_other:.2f}s) but "
+                        f"measured {measured_ppf.seconds * 1000:.1f}ms vs "
+                        f"{measured_other.seconds * 1000:.1f}ms"
+                    )
+    return deviations

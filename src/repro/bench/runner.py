@@ -1,0 +1,161 @@
+"""Workload setup and timing loops for the reproduced experiments.
+
+A :class:`WorkloadBundle` owns one generated document plus every store
+and engine the comparison needs; :func:`time_engine` measures a query the
+way the paper did (repeated runs, averaged), except warm in-process
+instead of cold-cache (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.baselines import AccelEngine, NaiveEngine, NativeEngine
+from repro.core.engine import EdgePPFEngine, PPFEngine
+from repro.schema.inference import infer_schema
+from repro.storage import AccelStore, Database, EdgeStore, ShreddedStore
+from repro.workloads.dblp import DBLPConfig, generate_dblp
+from repro.workloads.xmark import XMarkConfig, generate_xmark
+from repro.xmltree.nodes import Document
+
+#: Engine keys used across tables (order = paper column order).
+ENGINE_ORDER = ["ppf", "edge_ppf", "native", "commercial", "accel"]
+
+
+@dataclass
+class WorkloadBundle:
+    """One document shredded into every store, with all engines built."""
+
+    document: Document
+    store: ShreddedStore
+    edge_store: EdgeStore
+    accel_store: AccelStore
+    engines: dict = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, document: Document) -> "WorkloadBundle":
+        """Shred ``document`` into all three stores and build every
+        engine of the comparison."""
+        schema = infer_schema([document])
+        store = ShreddedStore.create(Database.memory(), schema)
+        store.load(document)
+        edge_store = EdgeStore.create(Database.memory())
+        edge_store.load(document)
+        accel_store = AccelStore.create(Database.memory())
+        accel_store.load(document)
+        for loaded in (store, edge_store, accel_store):
+            loaded.db.execute("ANALYZE")
+        bundle = cls(document, store, edge_store, accel_store)
+        bundle.engines = {
+            # The paper's system.
+            "ppf": PPFEngine(store),
+            # Figure 3 / Figure 4 competitor: same algorithm, Edge mapping.
+            "edge_ppf": EdgePPFEngine(edge_store),
+            # MonetDB/XQuery stand-in (see DESIGN.md).
+            "native": NativeEngine(document),
+            # Commercial built-in XPath stand-in (reported for Q23/Q24/QA).
+            "commercial": NaiveEngine(store),
+            # XPath Accelerator implementation.
+            "accel": AccelEngine(accel_store),
+        }
+        return bundle
+
+    def element_count(self) -> int:
+        """Element count of the bundled document."""
+        return self.document.element_count()
+
+
+def build_xmark_bundle(scale: float = 1.0, seed: int = 42) -> WorkloadBundle:
+    """Generate and shred an XMark-like document at ``scale``."""
+    return WorkloadBundle.build(
+        generate_xmark(XMarkConfig(scale=scale, seed=seed))
+    )
+
+
+def build_dblp_bundle(scale: float = 1.0, seed: int = 7) -> WorkloadBundle:
+    """Generate and shred a DBLP-like document at ``scale``."""
+    return WorkloadBundle.build(generate_dblp(DBLPConfig(scale=scale, seed=seed)))
+
+
+@dataclass
+class BenchResult:
+    """Measured outcome of one (engine, query) pair."""
+
+    qid: str
+    engine: str
+    seconds: float
+    result_count: int
+    error: Optional[str] = None
+
+    @property
+    def available(self) -> bool:
+        """True when the measurement succeeded (not N/A or an error)."""
+        return self.error is None
+
+
+def run_query(engine, xpath: str) -> int:
+    """Execute once; returns the result cardinality."""
+    result = engine.execute(xpath)
+    return len(result)
+
+
+def time_engine(
+    engine,
+    xpath: str,
+    repeats: int = 3,
+    clock: Callable[[], float] = time.perf_counter,
+    warmup: bool = True,
+) -> tuple[float, int]:
+    """Median wall-clock seconds over ``repeats`` runs, plus cardinality.
+
+    The paper averaged 5 cold-cache runs; we take the median of warm runs
+    after one untimed warm-up (shape, not absolute numbers — DESIGN.md).
+    """
+    if warmup:
+        run_query(engine, xpath)
+    count = 0
+    samples = []
+    for _ in range(repeats):
+        start = clock()
+        count = run_query(engine, xpath)
+        samples.append(clock() - start)
+    return statistics.median(samples), count
+
+
+def measure(
+    bundle: WorkloadBundle,
+    queries,
+    engine_names: Optional[list[str]] = None,
+    repeats: int = 3,
+    skip: Optional[dict] = None,
+) -> list[BenchResult]:
+    """Measure every (query, engine) pair.
+
+    :param skip: ``{engine_name: set of qids}`` marked N/A (mirrors the
+        paper's commercial column).
+    """
+    engine_names = engine_names or list(bundle.engines)
+    skip = skip or {}
+    results = []
+    for query in queries:
+        for name in engine_names:
+            if query.qid in skip.get(name, ()):  # reported N/A
+                results.append(BenchResult(query.qid, name, 0.0, 0, "N/A"))
+                continue
+            engine = bundle.engines[name]
+            try:
+                seconds, count = time_engine(engine, query.xpath, repeats)
+                results.append(
+                    BenchResult(query.qid, name, seconds, count)
+                )
+            except Exception as exc:  # pragma: no cover - engine gaps
+                results.append(
+                    BenchResult(
+                        query.qid, name, 0.0, 0,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+    return results

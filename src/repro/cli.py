@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+::
+
+    python -m repro shred  store.db doc1.xml doc2.xml   # create/append
+    python -m repro query  store.db "//item[@id='item0']"
+    python -m repro explain store.db "//keyword/ancestor::listitem"
+    python -m repro info   store.db
+    python -m repro bench  --workload xmark --scale 8
+
+``shred`` infers the schema from the first batch of documents and
+persists it in the database; later invocations reopen the store and
+validate new documents against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import PPFEngine
+from repro.errors import ReproError
+from repro.schema.inference import infer_schema
+from repro.storage.database import Database
+from repro.storage.schema_aware import ShreddedStore
+from repro.xmltree.parser import parse_document
+
+
+def _open_store(path: str) -> ShreddedStore:
+    return ShreddedStore.open(Database.open(path))
+
+
+def _load_schema(path: str):
+    from repro.schema.dtd import parse_dtd
+    from repro.schema.xsd import parse_xsd
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith(".dtd"):
+        return parse_dtd(text)
+    return parse_xsd(text)
+
+
+def cmd_shred(args: argparse.Namespace) -> int:
+    """``repro shred`` — load documents, creating the store on first use."""
+    documents = []
+    for name in args.documents:
+        with open(name, "r", encoding="utf-8") as handle:
+            documents.append(parse_document(handle.read(), name=name))
+    db = Database.open(args.database)
+    if "repro_meta" in db.table_names():
+        store = ShreddedStore.open(db)
+    elif args.schema:
+        store = ShreddedStore.create(db, _load_schema(args.schema))
+    else:
+        store = ShreddedStore.create(db, infer_schema(documents))
+    for document in documents:
+        doc_id = store.load(document)
+        print(
+            f"loaded {document.name!r} as doc {doc_id} "
+            f"({document.element_count()} elements)"
+        )
+    db.execute("ANALYZE")
+    db.commit()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query`` — run an XPath query and print the results."""
+    store = _open_store(args.database)
+    engine = PPFEngine(store)
+    result = engine.execute(args.xpath)
+    for row in result:
+        if result.projection == "nodes":
+            doc_id, node_id = store.to_document_node_id(row.id)
+            print(f"doc={doc_id} node={node_id}")
+        else:
+            print(row.value)
+    print(f"-- {len(result)} result(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain`` — print the generated SQL."""
+    store = _open_store(args.database)
+    print(PPFEngine(store).explain(args.xpath))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``repro info`` — store statistics and the Section 4.5 marking."""
+    store = _open_store(args.database)
+    print(f"documents: {store.db.query_one('SELECT COUNT(*) FROM docs')[0]}")
+    print(f"elements:  {store.total_elements()}")
+    print(f"paths:     {len(store.path_index)}")
+    print("relations:")
+    for table, count in store.relation_counts().items():
+        marks = {
+            store.marking.classify(name).value
+            for name in store.mapping.relations[table].element_names
+        }
+        print(f"  {table:<20} {count:>8} rows  [{', '.join(sorted(marks))}]")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench`` — run the paper comparison at a chosen scale."""
+    from repro.bench.paper import PAPER_DBLP, PAPER_XMARK_SMALL
+    from repro.bench.report import format_table
+    from repro.bench.runner import (
+        build_dblp_bundle,
+        build_xmark_bundle,
+        measure,
+    )
+    from repro.workloads import DBLP_QUERIES, XPATHMARK_QUERIES
+    from repro.workloads.xpathmark import COMMERCIAL_SUPPORTED
+
+    if args.workload == "xmark":
+        bundle = build_xmark_bundle(scale=args.scale)
+        queries = XPATHMARK_QUERIES
+        paper = PAPER_XMARK_SMALL
+        skip = {
+            "commercial": {q.qid for q in queries} - COMMERCIAL_SUPPORTED
+        }
+    else:
+        bundle = build_dblp_bundle(scale=args.scale)
+        queries = DBLP_QUERIES
+        paper = PAPER_DBLP
+        skip = {"commercial": {q.qid for q in queries}}
+    print(f"{bundle.element_count()} elements", file=sys.stderr)
+    results = measure(bundle, queries, repeats=args.repeats, skip=skip)
+    print(
+        format_table(
+            f"{args.workload} comparison (paper series in parentheses)",
+            results,
+            paper,
+        )
+    )
+    if args.chart:
+        from repro.bench.figures import bar_chart
+
+        print()
+        print(bar_chart(f"{args.workload} (log bars)", results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PPF-based XPath execution on relational systems",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    shred = commands.add_parser("shred", help="shred XML into a store")
+    shred.add_argument("database")
+    shred.add_argument("documents", nargs="+")
+    shred.add_argument(
+        "--schema",
+        help="schema file (.dtd or .xsd); default: infer from documents",
+    )
+    shred.set_defaults(handler=cmd_shred)
+
+    query = commands.add_parser("query", help="run an XPath query")
+    query.add_argument("database")
+    query.add_argument("xpath")
+    query.set_defaults(handler=cmd_query)
+
+    explain = commands.add_parser("explain", help="show the generated SQL")
+    explain.add_argument("database")
+    explain.add_argument("xpath")
+    explain.set_defaults(handler=cmd_explain)
+
+    info = commands.add_parser("info", help="store statistics")
+    info.add_argument("database")
+    info.set_defaults(handler=cmd_info)
+
+    bench = commands.add_parser("bench", help="run the paper comparison")
+    bench.add_argument("--workload", choices=["xmark", "dblp"],
+                       default="xmark")
+    bench.add_argument("--scale", type=float, default=6.0)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--chart", action="store_true", help="also draw ASCII bar charts"
+    )
+    bench.set_defaults(handler=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: PPF-based XPath-to-SQL processing.
+
+* :mod:`repro.core.pathregex`   — path patterns and their regular
+  expression compilation (Table 1),
+* :mod:`repro.core.fragments`   — Primitive Path Fragment identification
+  (Section 4.1, Definition),
+* :mod:`repro.core.adapters`    — the mapping-specific parts of the
+  translation (schema-aware vs. Edge-like), including the Section 4.5
+  path-filter omission,
+* :mod:`repro.core.translator`  — Algorithm 1: gradual SQL building per
+  PPF, predicate translation, SQL-splitting handling (Section 4.4),
+* :mod:`repro.core.engine`      — user-facing query engines.
+"""
+
+from repro.core.fragments import PPF, PPFKind, SplitBackbone, split_backbone
+from repro.core.pathregex import PatternStep, compile_pattern, pattern_of_steps
+from repro.core.translator import PPFTranslator, TranslationResult
+from repro.core.engine import EdgePPFEngine, PPFEngine, QueryResult
+
+__all__ = [
+    "EdgePPFEngine",
+    "PPF",
+    "PPFKind",
+    "PPFEngine",
+    "PPFTranslator",
+    "PatternStep",
+    "QueryResult",
+    "SplitBackbone",
+    "TranslationResult",
+    "compile_pattern",
+    "pattern_of_steps",
+    "split_backbone",
+]

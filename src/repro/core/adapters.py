@@ -1,0 +1,358 @@
+"""Mapping-specific halves of the PPF translation.
+
+The translator (Algorithm 1) is mapping-agnostic; everything that differs
+between the schema-aware mapping of Section 3 and the Edge-like mapping
+of Section 5.1 sits behind :class:`StoreAdapter`:
+
+* candidate relations for a fragment's prominent step,
+* the Section 4.5 decision whether a `Paths` join is needed at all
+  (schema-aware only — U-P relations are never joined, F-P relations only
+  when some enumerated root path fails the regex),
+* access to text and attribute values (typed columns vs. the central
+  ``attrs`` relation).
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from dataclasses import dataclass
+from typing import Iterable, Literal, Optional, Sequence
+
+from repro.core.pathregex import (
+    PatternStep,
+    compile_pattern,
+    exact_path,
+    resolve_backward,
+    resolve_forward,
+    resolve_order_step,
+)
+from repro.schema.marking import PathClass
+from repro.sqlgen import Exists, Raw, SelectStatement, string_literal
+from repro.sqlgen.ast import Condition
+from repro.storage.edge import EdgeStore
+from repro.storage.schema_aware import RelationInfo, ShreddedStore
+from repro.xpath.ast import Step
+
+#: Constant conditions used to prune impossible branches.
+TRUE_CONDITION = Raw("1=1")
+FALSE_CONDITION = Raw("1=0")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate relation for a prominent step."""
+
+    table: str
+    #: Element names this candidate may hold for the step (``None`` in the
+    #: schema-oblivious mapping, where names are open).
+    names: Optional[frozenset[str]]
+    #: Explicit element-name restriction to emit (shared relations /
+    #: Edge name column), or ``None``.
+    name_filter: Optional[tuple[str, ...]] = None
+    #: Name of the column carrying the element name, when a restriction
+    #: is needed (``elname`` for shared relations, ``name`` for Edge).
+    name_column: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of the Section 4.5 analysis for one candidate/pattern."""
+
+    kind: Literal["none", "equality", "regex", "empty"]
+    payload: Optional[str] = None  #: literal path or regex
+
+
+class StoreAdapter(abc.ABC):
+    """Mapping-specific operations used by :class:`PPFTranslator`."""
+
+    #: True when schema information (and hence Section 4.5) is available.
+    schema_aware: bool
+
+    @abc.abstractmethod
+    def forward_names(
+        self,
+        pattern: Sequence[PatternStep],
+        start_names: Optional[frozenset[str]],
+        anchored: bool,
+    ) -> Optional[frozenset[str]]:
+        """Possible element names of a forward fragment's prominent step;
+        ``None`` when unconstrained (schema-oblivious)."""
+
+    @abc.abstractmethod
+    def backward_names(
+        self, steps: Sequence[Step], context_names: Optional[frozenset[str]]
+    ) -> Optional[frozenset[str]]:
+        """Possible names of a backward fragment's prominent step."""
+
+    @abc.abstractmethod
+    def order_names(
+        self, step: Step, context_names: Optional[frozenset[str]]
+    ) -> Optional[frozenset[str]]:
+        """Possible names selected by an order-axis single-step PPF."""
+
+    @abc.abstractmethod
+    def candidates(
+        self,
+        names: Optional[frozenset[str]],
+        test_name: Optional[str],
+    ) -> list[Candidate]:
+        """Candidate relations covering ``names`` (splitting point —
+        Section 4.4).  ``test_name`` is the prominent step's concrete name
+        test, used for index-friendly name restrictions."""
+
+    @abc.abstractmethod
+    def path_filter(
+        self,
+        candidate: Candidate,
+        pattern: Sequence[PatternStep],
+        anchored: bool,
+    ) -> FilterDecision:
+        """Whether (and how) the candidate needs the `Paths` join for the
+        given pattern."""
+
+    @abc.abstractmethod
+    def text_expr(self, candidate: Candidate, alias: str, numeric: bool) -> Optional[str]:
+        """SQL expression for the element text value, or ``None`` when the
+        relation provably stores no text."""
+
+    @abc.abstractmethod
+    def attr_expr(
+        self, candidate: Candidate, alias: str, attr: str, numeric: bool
+    ) -> Optional[str]:
+        """SQL expression for an attribute value usable in the outer
+        statement, or ``None`` when no candidate element declares it."""
+
+    @abc.abstractmethod
+    def attr_condition(
+        self,
+        candidate: Candidate,
+        alias: str,
+        attr: str,
+        op: Optional[str],
+        literal_sql: Optional[str],
+        numeric: bool,
+        fresh_alias,
+    ) -> Condition:
+        """Condition for ``@attr`` existence (``op is None``) or
+        comparison against a rendered literal."""
+
+
+# ---------------------------------------------------------------------------
+# Schema-aware adapter
+# ---------------------------------------------------------------------------
+
+
+class SchemaAwareAdapter(StoreAdapter):
+    """Adapter over a :class:`ShreddedStore` (paper Sections 3–4.5)."""
+
+    schema_aware = True
+
+    def __init__(self, store: ShreddedStore, path_filter_optimization: bool = True):
+        self.store = store
+        self.schema = store.schema
+        self.mapping = store.mapping
+        self.marking = store.marking
+        #: When False, Algorithm 1 is followed literally (every PPF joins
+        #: `Paths`) — the Section 4.5 ablation switch.
+        self.path_filter_optimization = path_filter_optimization
+
+    # -- name resolution -----------------------------------------------------
+
+    def forward_names(self, pattern, start_names, anchored):
+        start = None if anchored else (
+            set(start_names) if start_names is not None
+            else self.schema.reachable_from_roots()
+        )
+        return frozenset(resolve_forward(self.schema, pattern, start))
+
+    def backward_names(self, steps, context_names):
+        context = (
+            set(context_names)
+            if context_names is not None
+            else self.schema.reachable_from_roots()
+        )
+        return frozenset(resolve_backward(self.schema, steps, context))
+
+    def order_names(self, step, context_names):
+        context = (
+            set(context_names)
+            if context_names is not None
+            else self.schema.reachable_from_roots()
+        )
+        return frozenset(resolve_order_step(self.schema, step, context))
+
+    # -- candidates --------------------------------------------------------------
+
+    def candidates(self, names, test_name):
+        assert names is not None
+        result = []
+        for info in self.mapping.relations_for(names):
+            covered = frozenset(
+                n for n in info.element_names if n in names
+            )
+            if info.shared and covered != frozenset(info.element_names):
+                result.append(
+                    Candidate(
+                        info.table,
+                        covered,
+                        name_filter=tuple(sorted(covered)),
+                        name_column="elname",
+                    )
+                )
+            else:
+                result.append(Candidate(info.table, covered))
+        return result
+
+    def relation(self, candidate: Candidate) -> RelationInfo:
+        """The mapping relation behind a candidate."""
+        return self.mapping.relations[candidate.table]
+
+    # -- Section 4.5 ---------------------------------------------------------------
+
+    def path_filter(self, candidate, pattern, anchored):
+        regex = compile_pattern(pattern, anchored)
+        literal = exact_path(pattern, anchored)
+        if not self.path_filter_optimization:
+            if literal is not None:
+                return FilterDecision("equality", literal)
+            return FilterDecision("regex", regex)
+        compiled = re.compile(regex)
+        needed = False
+        any_match = False
+        assert candidate.names is not None
+        for name in candidate.names:
+            if self.marking.classify(name) is PathClass.INFINITE:
+                needed = True
+                any_match = True  # cannot rule the name out statically
+                continue
+            paths = self.marking.root_paths(name) or []
+            matched = [p for p in paths if compiled.search(p)]
+            if matched:
+                any_match = True
+            if len(matched) != len(paths):
+                needed = True
+        if not any_match:
+            return FilterDecision("empty")
+        if not needed:
+            return FilterDecision("none")
+        if literal is not None:
+            return FilterDecision("equality", literal)
+        return FilterDecision("regex", regex)
+
+    # -- values -------------------------------------------------------------------
+
+    def text_expr(self, candidate, alias, numeric):
+        info = self.relation(candidate)
+        if info.text_kind is None:
+            return None
+        return f"{alias}.text"
+
+    def attr_expr(self, candidate, alias, attr, numeric):
+        info = self.relation(candidate)
+        if attr not in info.attr_columns:
+            return None
+        column, _ = info.attr_columns[attr]
+        return f"{alias}.{column}"
+
+    def attr_condition(
+        self, candidate, alias, attr, op, literal_sql, numeric, fresh_alias
+    ):
+        expr = self.attr_expr(candidate, alias, attr, numeric)
+        if expr is None:
+            return FALSE_CONDITION
+        if op is None:
+            return Raw(f"{expr} IS NOT NULL")
+        return Raw(f"{expr} {op} {literal_sql}")
+
+
+# ---------------------------------------------------------------------------
+# Edge (schema-oblivious) adapter
+# ---------------------------------------------------------------------------
+
+
+class EdgeAdapter(StoreAdapter):
+    """Adapter over an :class:`EdgeStore` (paper Section 5.1).
+
+    No schema is available: every fragment resolves to the central
+    ``edge`` relation, the `Paths` join is always required, and attribute
+    access goes through the separate ``attrs`` relation (footnote 3)."""
+
+    schema_aware = False
+
+    def __init__(self, store: EdgeStore):
+        self.store = store
+
+    def forward_names(self, pattern, start_names, anchored):
+        return None
+
+    def backward_names(self, steps, context_names):
+        return None
+
+    def order_names(self, step, context_names):
+        return None
+
+    def candidates(self, names, test_name):
+        if test_name is not None:
+            return [
+                Candidate(
+                    "edge",
+                    None,
+                    name_filter=(test_name,),
+                    name_column="name",
+                )
+            ]
+        return [Candidate("edge", None)]
+
+    def path_filter(self, candidate, pattern, anchored):
+        literal = exact_path(pattern, anchored)
+        if literal is not None:
+            return FilterDecision("equality", literal)
+        return FilterDecision("regex", compile_pattern(pattern, anchored))
+
+    def text_expr(self, candidate, alias, numeric):
+        if numeric:
+            return f"CAST({alias}.text AS NUMERIC)"
+        return f"{alias}.text"
+
+    def attr_expr(self, candidate, alias, attr, numeric):
+        value = f"(SELECT value FROM attrs WHERE elem_id = {alias}.id AND name = {string_literal(attr)})"
+        if numeric:
+            return f"CAST({value} AS NUMERIC)"
+        return value
+
+    def attr_condition(
+        self, candidate, alias, attr, op, literal_sql, numeric, fresh_alias
+    ):
+        inner_alias = fresh_alias("attrs")
+        sub = SelectStatement(columns=["1"])
+        sub.add_table("attrs", inner_alias)
+        sub.where.add(Raw(f"{inner_alias}.elem_id = {alias}.id"))
+        sub.where.add(
+            Raw(f"{inner_alias}.name = {string_literal(attr)}")
+        )
+        if op is not None:
+            value = (
+                f"CAST({inner_alias}.value AS NUMERIC)"
+                if numeric
+                else f"{inner_alias}.value"
+            )
+            sub.where.add(Raw(f"{value} {op} {literal_sql}"))
+        return Exists(sub)
+
+
+def names_of(candidate: Candidate) -> Optional[frozenset[str]]:
+    """The candidate's covered names (``None`` when open)."""
+    return candidate.names
+
+
+def combine_names(
+    candidates: Iterable[Candidate],
+) -> Optional[frozenset[str]]:
+    """Union of covered names over candidates; ``None`` if any is open."""
+    total: set[str] = set()
+    for candidate in candidates:
+        if candidate.names is None:
+            return None
+        total |= candidate.names
+    return frozenset(total)

@@ -1,0 +1,189 @@
+"""User-facing query engines.
+
+Every engine exposes the same two calls:
+
+* ``execute(xpath)``  → a :class:`QueryResult` (element rows in document
+  order, or projected text/attribute values),
+* ``explain(xpath)``  → the SQL the engine would run (empty for the
+  native evaluator).
+
+:class:`PPFEngine` is the paper's system (schema-aware mapping +
+PPF-based translation); :class:`EdgePPFEngine` is the Section 5.1
+schema-oblivious variant sharing the identical translation algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.core.adapters import EdgeAdapter, SchemaAwareAdapter
+from repro.core.translator import PPFTranslator, TranslationResult
+from repro.storage.edge import EdgeStore
+from repro.storage.schema_aware import ShreddedStore
+from repro.xpath.ast import XPathExpr
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One result element (or projected value)."""
+
+    id: int
+    doc_id: int
+    dewey_pos: bytes
+    value: Optional[str] = None
+
+
+class QueryResult:
+    """Document-ordered result of one query."""
+
+    def __init__(self, rows: list[ResultRow], projection: str):
+        self.rows = rows
+        #: ``nodes``, ``text`` or ``attribute``.
+        self.projection = projection
+
+    @property
+    def ids(self) -> list[int]:
+        """Global element ids, in document order."""
+        return [row.id for row in self.rows]
+
+    @property
+    def values(self) -> list[str]:
+        """Projected text/attribute values (``text``/``attribute``
+        projections only)."""
+        return [row.value for row in self.rows if row.value is not None]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult({len(self.rows)} rows, {self.projection!r})"
+
+
+class SQLXPathEngine:
+    """Base engine: translate, execute, wrap rows.
+
+    Translations are cached per expression string — they depend only on
+    the schema (static for a store's lifetime), so repeated queries skip
+    the translation pass entirely.
+    """
+
+    _CACHE_LIMIT = 256
+
+    def __init__(self, store, translator: PPFTranslator):
+        self.store = store
+        self.translator = translator
+        self._translation_cache: dict[str, TranslationResult] = {}
+
+    def translate(self, expression: Union[str, XPathExpr]) -> TranslationResult:
+        """Translate without executing (cached for string expressions)."""
+        if not isinstance(expression, str):
+            return self.translator.translate(expression)
+        cached = self._translation_cache.get(expression)
+        if cached is None:
+            cached = self.translator.translate(expression)
+            if len(self._translation_cache) >= self._CACHE_LIMIT:
+                self._translation_cache.clear()
+            self._translation_cache[expression] = cached
+        return cached
+
+    def explain(self, expression: Union[str, XPathExpr]) -> str:
+        """The SQL text for ``expression``."""
+        return self.translate(expression).sql
+
+    def query_plan(self, expression: Union[str, XPathExpr]) -> list[str]:
+        """SQLite's EXPLAIN QUERY PLAN detail for the translated SQL
+        (empty for statically-empty translations)."""
+        translation = self.translate(expression)
+        if translation.is_empty:
+            return []
+        return self.store.db.query_plan(translation.sql)
+
+    def iterate(self, expression: Union[str, XPathExpr]):
+        """Stream result rows without materializing the whole set.
+
+        Rows arrive in per-branch order (a UNION's branches are not
+        globally document-ordered); use :meth:`execute` when global
+        order matters.
+        """
+        translation = self.translate(expression)
+        if translation.is_empty:
+            return
+        cursor = self.store.db.execute(translation.sql)
+        for record in cursor:
+            value = None
+            if translation.projection != "nodes" and len(record) > 3:
+                value = None if record[3] is None else str(record[3])
+            yield ResultRow(
+                record[0], record[1], bytes(record[2]), value=value
+            )
+
+    def execute(self, expression: Union[str, XPathExpr]) -> QueryResult:
+        """Translate and run ``expression`` against the store."""
+        translation = self.translate(expression)
+        if translation.is_empty:
+            return QueryResult([], translation.projection)
+        raw = self.store.db.query(translation.sql)
+        rows = []
+        for record in raw:
+            if translation.projection == "nodes":
+                row_id, doc_id, dewey = record[:3]
+                rows.append(ResultRow(row_id, doc_id, bytes(dewey)))
+            else:
+                row_id, doc_id, dewey, value = record[:4]
+                rows.append(
+                    ResultRow(
+                        row_id,
+                        doc_id,
+                        bytes(dewey),
+                        value=None if value is None else str(value),
+                    )
+                )
+        # UNION branches each arrive sorted, but their concatenation is
+        # not; enforce global document order (and dedupe splits).
+        unique: dict[int, ResultRow] = {}
+        for row in rows:
+            unique.setdefault(row.id, row)
+        ordered = sorted(
+            unique.values(), key=lambda r: (r.doc_id, r.dewey_pos)
+        )
+        return QueryResult(ordered, translation.projection)
+
+
+class PPFEngine(SQLXPathEngine):
+    """PPF-based processing over the schema-aware mapping (the paper's
+    system).
+
+    :param store: a loaded :class:`ShreddedStore`.
+    :param path_filter_optimization: Section 4.5 — omit provably
+        redundant `Paths` joins (the paper's default).
+    :param prefer_fk_joins: Section 4.2 — foreign-key equijoins for
+        single-step child/parent PPFs (the paper's default).
+    """
+
+    def __init__(
+        self,
+        store: ShreddedStore,
+        path_filter_optimization: bool = True,
+        prefer_fk_joins: bool = True,
+    ):
+        adapter = SchemaAwareAdapter(
+            store, path_filter_optimization=path_filter_optimization
+        )
+        super().__init__(
+            store, PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins)
+        )
+
+
+class EdgePPFEngine(SQLXPathEngine):
+    """PPF-based processing over the schema-oblivious Edge mapping
+    (the `Edge-like PPF` competitor of Figures 3–4)."""
+
+    def __init__(self, store: EdgeStore, prefer_fk_joins: bool = True):
+        adapter = EdgeAdapter(store)
+        super().__init__(
+            store, PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins)
+        )

@@ -1,0 +1,232 @@
+"""Primitive Path Fragment identification (paper Section 4.1).
+
+A backbone path is split into PPFs:
+
+a) *forward simple paths* — maximal runs of ``child``/``descendant``/
+   ``descendant-or-self``/``self`` steps with predicates only on the last
+   step,
+b) *backward simple paths* — the same over ``parent``/``ancestor``/
+   ``ancestor-or-self``,
+c) single steps with one of the four order axes (``following``,
+   ``following-sibling``, ``preceding``, ``preceding-sibling``).
+
+A predicate on an intermediate step always closes the current fragment
+(the paper's Definition).  Two tail conveniences are peeled off before
+splitting: a final ``text()`` step becomes a text projection and a final
+``attribute::`` step an attribute projection.
+
+One correctness-driven extension (DESIGN.md): a forward fragment that is
+*not* anchored at the document root (i.e. it follows a backward or order
+PPF) is additionally split before any internal ``descendant`` separator,
+because a single relative regex plus one structural join cannot pin the
+fragment's interior to the context in that case.  Root-anchored chains —
+which cover every query in the paper's evaluation — are never split this
+way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TranslationError, UnsupportedXPathError
+from repro.xpath.ast import LocationPath, Step, TextTest, XPathExpr
+from repro.xpath.axes import Axis
+
+
+class PPFKind(enum.Enum):
+    """The Definition's three fragment categories."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    ORDER = "order"
+
+
+@dataclass
+class PPF:
+    """One Primitive Path Fragment."""
+
+    kind: PPFKind
+    steps: list[Step]
+    #: True when a chain of forward PPFs connects this fragment back to
+    #: the absolute start of the path (its regex may then include the
+    #: whole forward path and be anchored at the root — Section 4.3).
+    anchored: bool = False
+
+    @property
+    def prominent_step(self) -> Step:
+        """The last step; its relation is the fragment's Prominent
+        Relation (Section 4.1)."""
+        return self.steps[-1]
+
+    @property
+    def predicates(self) -> list[XPathExpr]:
+        """Predicates of the prominent (last) step."""
+        return self.prominent_step.predicates
+
+    def is_single_step(self) -> bool:
+        """True for one-step fragments (FK-join eligible)."""
+        return len(self.steps) == 1
+
+    def level_offset(self) -> tuple[int, bool]:
+        """(minimum level distance to the previous context, is-exact).
+
+        ``child``/``parent`` span exactly 1 level, ``descendant``/
+        ``ancestor`` at least 1, the ``-or-self`` variants at least 0.
+        """
+        minimum = 0
+        exact = True
+        for step in self.steps:
+            if step.axis in (Axis.CHILD, Axis.PARENT):
+                minimum += 1
+            elif step.axis in (Axis.DESCENDANT, Axis.ANCESTOR):
+                minimum += 1
+                exact = False
+            else:  # self / -or-self variants
+                exact = False
+        return minimum, exact
+
+    def __str__(self) -> str:
+        return "/".join(str(s) for s in self.steps)
+
+
+@dataclass
+class SplitBackbone:
+    """The decomposition of one backbone location path."""
+
+    ppfs: list[PPF]
+    absolute: bool
+    #: Set when the path ends in ``/text()``: project element text.
+    text_projection: bool = False
+    #: Set when the path ends in an ``attribute::`` step: project the
+    #: attribute's value (its name is stored here).
+    attribute_projection: Optional[str] = None
+    #: Predicates attached to the trailing attribute step, if any.
+    attribute_predicates: list[XPathExpr] = field(default_factory=list)
+
+
+def _axis_class(axis: Axis) -> PPFKind | None:
+    if axis.is_path_forward:
+        return PPFKind.FORWARD
+    if axis.is_path_backward:
+        return PPFKind.BACKWARD
+    if axis.is_order_axis:
+        return PPFKind.ORDER
+    return None
+
+
+def split_backbone(
+    path: LocationPath, context_anchored: bool = False
+) -> SplitBackbone:
+    """Split a backbone path into its PPFs.
+
+    :param context_anchored: for *relative* paths (predicate clauses):
+        True when the outer context's own root-anchored path pattern is
+        known, so the first forward fragment can be compiled into an
+        anchored regex by prefixing it (Table 5, example 1).
+    :raises TranslationError: for paths the relational engines cannot
+        process (empty absolute path, attribute steps mid-path).
+    """
+    steps = list(path.steps)
+    if not steps:
+        raise TranslationError(
+            "the bare '/' path has no relational translation"
+        )
+
+    anchored_start = path.absolute or context_anchored
+    result = SplitBackbone(ppfs=[], absolute=path.absolute)
+
+    # Peel the projection tail.
+    last = steps[-1]
+    if isinstance(last.node_test, TextTest):
+        if last.axis is not Axis.CHILD or last.predicates:
+            raise UnsupportedXPathError(
+                "only a plain trailing /text() step is supported"
+            )
+        result.text_projection = True
+        steps = steps[:-1]
+    elif last.axis is Axis.ATTRIBUTE:
+        result.attribute_projection = _attribute_name(last)
+        result.attribute_predicates = list(last.predicates)
+        steps = steps[:-1]
+    if not steps:
+        raise TranslationError(
+            "a path consisting only of a projection step is not supported"
+        )
+
+    for step in steps:
+        if step.axis is Axis.ATTRIBUTE:
+            raise UnsupportedXPathError(
+                "attribute steps are only supported at the end of a path "
+                "or inside predicates"
+            )
+        if isinstance(step.node_test, TextTest):
+            raise UnsupportedXPathError(
+                "text() steps are only supported at the end of a path"
+            )
+        kind = _axis_class(step.axis)
+        if kind is None:  # pragma: no cover - all axes are classified
+            raise TranslationError(f"unsupported axis {step.axis}")
+        _append_step(result, step, kind, anchored_start)
+    if not result.ppfs:
+        raise TranslationError("path reduced to no fragments")
+    return result
+
+
+def _append_step(
+    result: SplitBackbone, step: Step, kind: PPFKind, anchored_start: bool
+) -> None:
+    ppfs = result.ppfs
+    current = ppfs[-1] if ppfs else None
+
+    if kind is PPFKind.ORDER:
+        ppfs.append(PPF(PPFKind.ORDER, [step], anchored=False))
+        return
+
+    extend = (
+        current is not None
+        and current.kind is kind
+        and kind in (PPFKind.FORWARD, PPFKind.BACKWARD)
+        and not current.prominent_step.predicates
+    )
+    if (
+        extend
+        and kind is PPFKind.FORWARD
+        and not current.anchored
+        and step.axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF)
+    ):
+        # Correctness split for unanchored fragments: an internal
+        # non-child separator cannot be tied to the context by a relative
+        # regex (see module docstring).
+        extend = False
+    if (
+        extend
+        and kind is PPFKind.BACKWARD
+        and any(s.axis is not Axis.PARENT for s in current.steps)
+    ):
+        # Mirror rule going upward: once a non-exact (ancestor) step is in
+        # the fragment, a further step cannot be pinned by the tail regex.
+        extend = False
+
+    if extend:
+        current.steps.append(step)
+        return
+
+    anchored = (
+        kind is PPFKind.FORWARD
+        and anchored_start
+        and all(p.kind is PPFKind.FORWARD for p in ppfs)
+    )
+    ppfs.append(PPF(kind, [step], anchored=anchored))
+
+
+def _attribute_name(step: Step) -> str:
+    from repro.xpath.ast import NameTest
+
+    test = step.node_test
+    if isinstance(test, NameTest) and not test.is_wildcard:
+        return test.name
+    raise UnsupportedXPathError(
+        "attribute projection requires a concrete attribute name"
+    )

@@ -1,0 +1,89 @@
+"""Encoding and decoding of Dewey vectors as binary strings.
+
+Per Section 4.2 of the paper, a Dewey position ``d(n) = C1 || C2 || ... ||
+Ck`` concatenates one component per tree level.  Each component is exactly
+3 bytes with the first bit zero, so its value ranges over ``0 ..
+0x7FFFFF``.  Because every component starts with a byte ``<= 0x7F``, a
+single ``0xFF`` byte appended to an encoding is lexicographically larger
+than any possible continuation of that encoding — that is the ``|| 'F'``
+upper bound used by the paper's descendant range condition (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeweyError
+
+#: Size in bytes of one Dewey component.
+COMPONENT_BYTES = 3
+
+#: Largest ordinal a 3-byte component with a zero high bit can carry.
+MAX_ORDINAL = 0x7FFFFF
+
+#: The byte appended to form the exclusive upper bound of the descendant
+#: range (the paper's ``d(n) || 'F'``).
+DESCENDANT_SUFFIX = b"\xff"
+
+
+def encode(vector: tuple[int, ...]) -> bytes:
+    """Encode a Dewey vector into its binary string form.
+
+    :param vector: 1-based sibling ordinals from the root down to the node,
+        e.g. ``(1, 2, 1)`` for the node ``1.2.1`` of Figure 1.
+    :raises DeweyError: on an empty vector or an out-of-range ordinal.
+    """
+    if not vector:
+        raise DeweyError("Dewey vector must have at least one component")
+    parts = []
+    for ordinal in vector:
+        if not 0 <= ordinal <= MAX_ORDINAL:
+            raise DeweyError(
+                f"Dewey ordinal {ordinal} outside 0..{MAX_ORDINAL:#x}"
+            )
+        parts.append(ordinal.to_bytes(COMPONENT_BYTES, "big"))
+    return b"".join(parts)
+
+
+def decode(encoded: bytes) -> tuple[int, ...]:
+    """Decode a binary Dewey string back into its ordinal vector.
+
+    :raises DeweyError: if the length is not a multiple of the component
+        size, or a component has its high bit set.
+    """
+    if not encoded or len(encoded) % COMPONENT_BYTES != 0:
+        raise DeweyError(
+            f"encoded length {len(encoded)} is not a positive multiple "
+            f"of {COMPONENT_BYTES}"
+        )
+    ordinals = []
+    for offset in range(0, len(encoded), COMPONENT_BYTES):
+        component = encoded[offset : offset + COMPONENT_BYTES]
+        if component[0] & 0x80:
+            raise DeweyError("component high bit set; not a valid encoding")
+        ordinals.append(int.from_bytes(component, "big"))
+    return tuple(ordinals)
+
+
+def level_of(encoded: bytes) -> int:
+    """Tree level of the encoded node (root element = 1)."""
+    if not encoded or len(encoded) % COMPONENT_BYTES != 0:
+        raise DeweyError("not a valid Dewey encoding")
+    return len(encoded) // COMPONENT_BYTES
+
+
+def parent_of(encoded: bytes) -> bytes:
+    """Encoding of the parent node (drop the last component).
+
+    :raises DeweyError: when called on a root (single-component) encoding.
+    """
+    if level_of(encoded) < 2:
+        raise DeweyError("a root node has no parent")
+    return encoded[:-COMPONENT_BYTES]
+
+
+def descendant_upper_bound(encoded: bytes) -> bytes:
+    """The exclusive lexicographic upper bound of ``encoded``'s subtree.
+
+    Every descendant encoding ``d`` satisfies
+    ``encoded < d < descendant_upper_bound(encoded)`` (Lemma 1).
+    """
+    return encoded + DESCENDANT_SUFFIX

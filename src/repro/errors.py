@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by every subsystem of the library.
+
+Keeping the whole hierarchy in one module lets callers catch
+:class:`ReproError` to handle any library failure, or a specific subclass
+when they care about the origin (parsing, schema, storage, translation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document is not well formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath expression cannot be parsed."""
+
+    def __init__(self, message: str, position: int = -1, expression: str = ""):
+        detail = f" at offset {position}" if position >= 0 else ""
+        context = f" in {expression!r}" if expression else ""
+        super().__init__(f"{message}{detail}{context}")
+        self.position = position
+        self.expression = expression
+
+
+class UnsupportedXPathError(ReproError):
+    """Raised when a syntactically valid expression uses a feature outside
+    the subset a particular engine supports."""
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent schema definitions or documents that do not
+    conform to the schema they are being loaded against."""
+
+
+class StorageError(ReproError):
+    """Raised for shredding/loading failures and malformed store state."""
+
+
+class TranslationError(ReproError):
+    """Raised when the XPath-to-SQL translator cannot produce a statement,
+    e.g. a step matches no relation under the schema."""
+
+
+class DeweyError(ReproError):
+    """Raised for invalid Dewey vectors or encodings."""

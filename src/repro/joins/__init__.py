@@ -1,0 +1,28 @@
+"""Native structural-join algorithms over Dewey-sorted node streams.
+
+The paper's related work contrasts PPF processing with join-based XML
+pattern matching — binary structural joins (Al-Khalifa et al.'s
+Stack-Tree) and holistic twig joins (Bruno et al.'s TwigStack, [28]) —
+and names combining PPFs with such native join techniques as future
+work.  This package implements both algorithms over the same binary
+Dewey encoding the relational engines use, so the combination can be
+explored in-process:
+
+* :func:`repro.joins.stacktree.stack_tree_join` — all
+  (ancestor, descendant) pairs of two document-ordered streams in one
+  merge pass,
+* :class:`repro.joins.twigstack.TwigPattern` /
+  :func:`repro.joins.twigstack.twig_join` — holistic small-memory
+  matching of tree patterns with child/descendant edges.
+"""
+
+from repro.joins.stacktree import JoinNode, stack_tree_join, document_stream
+from repro.joins.twigstack import TwigPattern, twig_join
+
+__all__ = [
+    "JoinNode",
+    "TwigPattern",
+    "document_stream",
+    "stack_tree_join",
+    "twig_join",
+]

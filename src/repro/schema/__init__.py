@@ -1,0 +1,32 @@
+"""XML Schema graph model, inference and the Section 4.5 path marking.
+
+The paper represents an XML Schema as a directed graph whose vertices are
+element definitions and whose edges are nesting relationships (Section
+2.1).  :class:`repro.schema.model.Schema` is that graph;
+:func:`repro.schema.inference.infer_schema` derives one from sample
+documents (the reproduction's stand-in for reading an XSD), and
+:mod:`repro.schema.marking` computes the U-P / F-P / I-P tags and
+root-to-node path enumerations that drive the redundant-path-filter
+optimization of Section 4.5.
+"""
+
+from repro.schema.model import AttributeDecl, ElementDecl, Schema
+from repro.schema.inference import infer_schema
+from repro.schema.marking import PathClass, SchemaMarking
+from repro.schema.dtd import parse_dtd
+from repro.schema.xsd import parse_xsd
+from repro.schema.validate import Violation, iter_violations, validate_document
+
+__all__ = [
+    "AttributeDecl",
+    "ElementDecl",
+    "PathClass",
+    "Schema",
+    "SchemaMarking",
+    "Violation",
+    "infer_schema",
+    "iter_violations",
+    "parse_dtd",
+    "parse_xsd",
+    "validate_document",
+]

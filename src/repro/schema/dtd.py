@@ -1,0 +1,136 @@
+"""DTD parsing into the schema graph.
+
+The paper's systems consume schema descriptions (XML Schema or DTD,
+Section 1).  This module reads the DTD subset that describes document
+structure:
+
+* ``<!ELEMENT name (content-model)>`` — children are every element name
+  appearing in the content model (the graph only needs the *set* of
+  allowed children, not cardinalities or ordering),
+* ``#PCDATA`` marks text content,
+* ``EMPTY`` / ``ANY`` element declarations,
+* ``<!ATTLIST name attr TYPE default>`` — attribute declarations
+  (``NMTOKEN``/``NMTOKENS`` and enumerations of numbers map to the
+  ``number`` kind used for column typing).
+
+Parameter entities and conditional sections are out of scope; comments
+are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SchemaError
+from repro.schema.model import Schema
+
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+([\w.:-]+)\s+(.*?)>", re.DOTALL
+)
+_ATTLIST_RE = re.compile(
+    r"<!ATTLIST\s+([\w.:-]+)\s+(.*?)>", re.DOTALL
+)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_NAME_RE = re.compile(r"[\w.:-]+")
+
+_ATTR_DEF_RE = re.compile(
+    r"([\w.:-]+)\s+"                       # attribute name
+    r"(CDATA|ID|IDREFS?|ENTITY|ENTITIES|NMTOKENS?|NOTATION\s*\([^)]*\)|\([^)]*\))\s+"
+    r"(#REQUIRED|#IMPLIED|#FIXED\s+(?:\"[^\"]*\"|'[^']*')|\"[^\"]*\"|'[^']*')",
+    re.DOTALL,
+)
+
+
+def parse_dtd(text: str, root: str | None = None) -> Schema:
+    """Parse a DTD document (internal-subset syntax) into a schema.
+
+    :param root: the document root element; defaults to the first
+        declared element (the usual DTD convention).
+    :raises SchemaError: for unparseable declarations, an unknown root,
+        or content models referencing undeclared elements.
+    """
+    text = _COMMENT_RE.sub(" ", text)
+    elements = _ELEMENT_RE.findall(text)
+    if not elements:
+        raise SchemaError("DTD declares no elements")
+
+    schema = Schema()
+    declared_order: list[str] = []
+    for name, _model in elements:
+        if name in schema:
+            raise SchemaError(f"element {name!r} declared twice")
+        schema.declare(name)
+        declared_order.append(name)
+
+    for name, model in elements:
+        _apply_content_model(schema, name, model.strip())
+
+    for name, body in _ATTLIST_RE.findall(text):
+        if name not in schema:
+            raise SchemaError(
+                f"ATTLIST for undeclared element {name!r}"
+            )
+        for attr_name, attr_type, _default in _ATTR_DEF_RE.findall(body):
+            kind = "number" if _is_numeric_enum(attr_type) else "string"
+            schema[name].add_attribute(attr_name, kind)
+
+    root_name = root or declared_order[0]
+    if root_name not in schema:
+        raise SchemaError(f"root element {root_name!r} is not declared")
+    schema.roots.add(root_name)
+    _prune_unreachable(schema)
+    schema.validate()
+    return schema
+
+
+def _apply_content_model(schema: Schema, name: str, model: str) -> None:
+    if model in ("EMPTY",):
+        return
+    if model == "ANY":
+        # ANY allows every declared element (including itself) as a child.
+        for child in list(schema.declarations):
+            schema.add_edge(name, child)
+        schema[name].text_kind = "string"
+        return
+    has_text = "#PCDATA" in model
+    if has_text:
+        schema[name].text_kind = "string"
+    for child in _NAME_RE.findall(model):
+        if child == "#PCDATA" or child == "PCDATA":
+            continue
+        if child not in schema.declarations:
+            raise SchemaError(
+                f"content model of {name!r} references undeclared "
+                f"element {child!r}"
+            )
+        schema.add_edge(name, child)
+
+
+def _is_numeric_enum(attr_type: str) -> bool:
+    """Enumerated attribute types whose alternatives are all numbers."""
+    attr_type = attr_type.strip()
+    if not attr_type.startswith("("):
+        return False
+    alternatives = [
+        token.strip()
+        for token in attr_type.strip("()").split("|")
+    ]
+    def numeric(token: str) -> bool:
+        try:
+            float(token)
+        except ValueError:
+            return False
+        return True
+    return bool(alternatives) and all(numeric(t) for t in alternatives)
+
+
+def _prune_unreachable(schema: Schema) -> None:
+    """Drop declarations the root cannot reach (validate() rejects them,
+    and DTDs routinely declare alternate roots)."""
+    reachable = schema.reachable_from_roots()
+    for name in list(schema.declarations):
+        if name not in reachable:
+            del schema.declarations[name]
+    for decl in schema.declarations.values():
+        decl.children &= reachable
+        decl.parents &= reachable

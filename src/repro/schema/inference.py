@@ -1,0 +1,66 @@
+"""Schema inference from sample documents.
+
+The paper consumes XML Schema documents; the reproduction derives the
+equivalent schema graph from the documents themselves (a standard DTD
+inference): every element name becomes a declaration, observed nestings
+become edges, and text/attribute value kinds are ``number`` when *every*
+observed value parses as a number, else ``string``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.schema.model import Schema
+from repro.xmltree.nodes import Document
+
+
+def _looks_numeric(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def infer_schema(documents: Iterable[Document]) -> Schema:
+    """Build a :class:`Schema` accepting every supplied document.
+
+    Value-kind inference is conservative: a single non-numeric observation
+    of an attribute or text value degrades that slot to ``string``.
+    """
+    schema = Schema()
+    # Kinds observed so far: name -> attr/text slot -> still-numeric flag.
+    attr_numeric: dict[tuple[str, str], bool] = {}
+    text_numeric: dict[str, bool] = {}
+    has_text: set[str] = set()
+
+    for document in documents:
+        schema.add_root(document.root.name)
+        for element in document.iter_elements():
+            decl = schema.declare(element.name)
+            for child in element.element_children:
+                schema.add_edge(element.name, child.name)
+            for attr_name, value in element.attributes.items():
+                key = (element.name, attr_name)
+                numeric = attr_numeric.get(key, True) and _looks_numeric(value)
+                attr_numeric[key] = numeric
+                decl.add_attribute(attr_name)
+            text = element.direct_text
+            if text.strip():
+                has_text.add(element.name)
+                text_numeric[element.name] = (
+                    text_numeric.get(element.name, True)
+                    and _looks_numeric(text.strip())
+                )
+
+    for (name, attr_name), numeric in attr_numeric.items():
+        schema[name].attributes[attr_name].kind = (
+            "number" if numeric else "string"
+        )
+    for name in has_text:
+        schema[name].text_kind = (
+            "number" if text_numeric.get(name, False) else "string"
+        )
+    schema.validate()
+    return schema

@@ -1,0 +1,157 @@
+"""U-P / F-P / I-P marking of the schema graph (paper Section 4.5).
+
+Every schema vertex is tagged by how many distinct root-to-node label
+paths lead to it:
+
+* ``U-P`` (unique path)  — exactly one; the `Paths` join is *never* needed,
+* ``F-P`` (finite paths) — finitely many; the translator tests the
+  enumerated paths against the fragment's regular expression and only
+  joins `Paths` when at least one enumerated path does not match,
+* ``I-P`` (infinite paths) — a cycle lies on some root-to-node path; the
+  `Paths` join is always required.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+
+from repro.errors import SchemaError
+from repro.schema.model import Schema
+
+
+class PathClass(enum.Enum):
+    """The Section 4.5 tag of a schema vertex."""
+
+    UNIQUE = "U-P"
+    FINITE = "F-P"
+    INFINITE = "I-P"
+
+
+class SchemaMarking:
+    """Computes and caches path classifications for one schema.
+
+    :param schema: the schema graph to mark.
+    :param max_paths: enumeration cap; a vertex whose acyclic path count
+        exceeds it is treated as ``I-P`` (always filter), which is safe —
+        the optimization only ever *removes* filters.
+    """
+
+    def __init__(self, schema: Schema, max_paths: int = 64):
+        self.schema = schema
+        self.max_paths = max_paths
+        self._classify = lru_cache(maxsize=None)(self._classify_uncached)
+        self._enumerate = lru_cache(maxsize=None)(self._enumerate_uncached)
+
+    # -- public API ------------------------------------------------------------
+
+    def classify(self, name: str) -> PathClass:
+        """The U-P / F-P / I-P tag of element ``name``."""
+        return self._classify(name)
+
+    def root_paths(self, name: str) -> list[str] | None:
+        """All root-to-node label paths of ``name`` (e.g. ``['/A/B/C']``),
+        or ``None`` when the set is infinite (``I-P``)."""
+        if self.classify(name) is PathClass.INFINITE:
+            return None
+        return list(self._enumerate(name))
+
+    def marking_table(self) -> dict[str, PathClass]:
+        """Tag for every element reachable from the roots (Figure 2)."""
+        return {
+            name: self.classify(name)
+            for name in sorted(self.schema.reachable_from_roots())
+        }
+
+    # -- internals --------------------------------------------------------------
+
+    def _relevant_vertices(self, name: str) -> set[str]:
+        """Vertices lying on some root-to-``name`` walk."""
+        reachable = self.schema.reachable_from_roots()
+        if name not in reachable:
+            raise SchemaError(
+                f"element {name!r} is not reachable from the schema roots"
+            )
+        co_reachable = {name} | self.schema.ancestors_of([name])
+        return reachable & co_reachable
+
+    def _has_cycle(self, vertices: set[str]) -> bool:
+        """Cycle detection restricted to ``vertices`` (iterative DFS)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {v: WHITE for v in vertices}
+        for start in vertices:
+            if color[start] != WHITE:
+                continue
+            stack: list[tuple[str, iter]] = [
+                (start, iter(sorted(self.schema[start].children & vertices)))
+            ]
+            color[start] = GRAY
+            while stack:
+                vertex, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY:
+                        return True
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        stack.append(
+                            (
+                                child,
+                                iter(
+                                    sorted(
+                                        self.schema[child].children & vertices
+                                    )
+                                ),
+                            )
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    color[vertex] = BLACK
+                    stack.pop()
+        return False
+
+    def _classify_uncached(self, name: str) -> PathClass:
+        vertices = self._relevant_vertices(name)
+        if self._has_cycle(vertices):
+            return PathClass.INFINITE
+        paths = self._enumerate_paths(name, vertices)
+        if paths is None:
+            return PathClass.INFINITE
+        if len(paths) == 1:
+            return PathClass.UNIQUE
+        return PathClass.FINITE
+
+    def _enumerate_uncached(self, name: str) -> tuple[str, ...]:
+        vertices = self._relevant_vertices(name)
+        paths = self._enumerate_paths(name, vertices)
+        if paths is None:  # pragma: no cover - guarded by classify()
+            raise SchemaError(f"element {name!r} has infinitely many paths")
+        return tuple(paths)
+
+    def _enumerate_paths(
+        self, name: str, vertices: set[str]
+    ) -> list[str] | None:
+        """All root-to-``name`` paths within the (acyclic) vertex set, or
+        ``None`` when more than :attr:`max_paths` exist."""
+        memo: dict[str, list[str] | None] = {}
+
+        def paths_to(vertex: str) -> list[str] | None:
+            if vertex in memo:
+                return memo[vertex]
+            collected: list[str] = []
+            if vertex in self.schema.roots:
+                collected.append("/" + vertex)
+            for parent in sorted(self.schema[vertex].parents & vertices):
+                parent_paths = paths_to(parent)
+                if parent_paths is None:
+                    memo[vertex] = None
+                    return None
+                collected.extend(p + "/" + vertex for p in parent_paths)
+                if len(collected) > self.max_paths:
+                    memo[vertex] = None
+                    return None
+            memo[vertex] = collected
+            return collected
+
+        return paths_to(name)

@@ -1,0 +1,90 @@
+"""Document validation with diagnostics.
+
+:meth:`Schema.conforms` answers yes/no; production loading wants to know
+*where* and *why* a document deviates.  :func:`validate_document` walks
+the tree and reports every violation with the offending node's path and
+preorder id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.schema.model import Schema
+from repro.xmltree.nodes import Document
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One schema violation."""
+
+    kind: str  #: ``root`` | ``unknown-element`` | ``nesting`` | ``attribute``
+    node_id: int
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] node {self.node_id} at {self.path}: {self.message}"
+
+
+def iter_violations(schema: Schema, document: Document) -> Iterator[Violation]:
+    """Yield every violation of ``schema`` in ``document``.
+
+    Checks: the root element is an allowed root; every element is
+    declared; every nesting edge exists; every attribute is declared for
+    its element.  (Value kinds are advisory column types, not validated.)
+    """
+    root = document.root
+    if root.name not in schema.roots:
+        yield Violation(
+            "root",
+            root.node_id,
+            root.path,
+            f"element {root.name!r} is not an allowed document root "
+            f"(roots: {sorted(schema.roots)})",
+        )
+    for element in document.iter_elements():
+        if element.name not in schema:
+            yield Violation(
+                "unknown-element",
+                element.node_id,
+                element.path,
+                f"element {element.name!r} is not declared",
+            )
+            continue
+        declaration = schema[element.name]
+        parent = element.parent
+        if (
+            parent is not None
+            and parent.name in schema
+            and element.name not in schema[parent.name].children
+        ):
+            yield Violation(
+                "nesting",
+                element.node_id,
+                element.path,
+                f"{element.name!r} may not nest under {parent.name!r} "
+                f"(allowed children: {sorted(schema[parent.name].children)})",
+            )
+        for attr_name in element.attributes:
+            if attr_name not in declaration.attributes:
+                yield Violation(
+                    "attribute",
+                    element.node_id,
+                    element.path,
+                    f"attribute {attr_name!r} is not declared for "
+                    f"{element.name!r}",
+                )
+
+
+def validate_document(
+    schema: Schema, document: Document, limit: int = 100
+) -> list[Violation]:
+    """Collect up to ``limit`` violations (empty list = conforming)."""
+    violations = []
+    for violation in iter_violations(schema, document):
+        violations.append(violation)
+        if len(violations) >= limit:
+            break
+    return violations

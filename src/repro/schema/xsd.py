@@ -1,0 +1,225 @@
+"""XML Schema (XSD subset) reading into the schema graph.
+
+The paper's mapping rules are phrased over XML Schema (Section 3):
+complex types map to relations shared by all elements of that type,
+other element declarations get their own relation.  This reader covers
+the structural XSD subset those rules need:
+
+* top-level ``xs:element`` declarations (the document roots),
+* named top-level ``xs:complexType`` definitions, referenced via
+  ``type="T"`` — these become :attr:`ElementDecl.type_name`, which the
+  relational mapping turns into *shared* relations,
+* anonymous inline ``xs:complexType``,
+* ``xs:sequence`` / ``xs:choice`` / ``xs:all`` content (arbitrarily
+  nested; the graph keeps the set of allowed children),
+* ``xs:element ref="..."`` references,
+* ``xs:attribute`` with built-in simple types (numeric types map to the
+  ``number`` column kind),
+* ``mixed="true"`` and simple-typed elements for text content.
+
+Imports, substitution groups, restrictions/extensions and facets are out
+of scope.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.model import Schema
+from repro.xmltree.nodes import ElementNode
+from repro.xmltree.parser import parse_document
+
+_NUMERIC_TYPES = {
+    "integer", "int", "long", "short", "byte", "decimal", "float",
+    "double", "positiveInteger", "nonNegativeInteger", "negativeInteger",
+    "nonPositiveInteger", "unsignedInt", "unsignedLong", "unsignedShort",
+}
+
+_TEXT_TYPES = {
+    "string", "token", "normalizedString", "anyURI", "date", "dateTime",
+    "time", "NMTOKEN", "Name", "NCName", "ID", "IDREF", "language",
+    "boolean",
+}
+
+
+def _local(name: str) -> str:
+    return name.rsplit(":", 1)[-1]
+
+
+def _value_kind(type_name: str | None) -> str:
+    if type_name is not None and _local(type_name) in _NUMERIC_TYPES:
+        return "number"
+    return "string"
+
+
+def _is_simple_type(type_name: str) -> bool:
+    local = _local(type_name)
+    return local in _NUMERIC_TYPES or local in _TEXT_TYPES
+
+
+class _XSDReader:
+    def __init__(self, root: ElementNode):
+        if _local(root.name) != "schema":
+            raise SchemaError(
+                f"not an XML Schema document (root {root.name!r})"
+            )
+        self.schema = Schema()
+        self.root = root
+        #: name -> the xs:complexType definition element
+        self.complex_types: dict[str, ElementNode] = {}
+        #: name -> the top-level xs:element element
+        self.global_elements: dict[str, ElementNode] = {}
+        #: (element name, type name) pairs already expanded (recursion stop)
+        self._expanded: set[tuple[str, str]] = set()
+        #: declaration nodes currently being expanded (recursive schemas
+        #: reach the same node again through xs:element ref)
+        self._in_flight: set[int] = set()
+
+    def read(self) -> Schema:
+        """Collect global definitions, expand them, validate the graph."""
+        for child in self.root.element_children:
+            kind = _local(child.name)
+            name = child.get("name")
+            if kind == "complexType" and name:
+                if name in self.complex_types:
+                    raise SchemaError(f"complexType {name!r} defined twice")
+                self.complex_types[name] = child
+            elif kind == "element" and name:
+                if name in self.global_elements:
+                    raise SchemaError(
+                        f"global element {name!r} declared twice"
+                    )
+                self.global_elements[name] = child
+        if not self.global_elements:
+            raise SchemaError("schema declares no global elements")
+        for name, node in self.global_elements.items():
+            self.schema.roots.add(name)
+            self._declare_element(node)
+        self.schema.validate()
+        return self.schema
+
+    # -- elements -----------------------------------------------------------
+
+    def _declare_element(self, node: ElementNode) -> str:
+        """Declare the element ``node`` describes; returns its name."""
+        ref = node.get("ref")
+        if ref is not None:
+            target = self.global_elements.get(_local(ref))
+            if target is None:
+                raise SchemaError(f"element ref {ref!r} has no declaration")
+            return self._declare_element(target)
+        name = node.get("name")
+        if not name:
+            raise SchemaError("xs:element without name or ref")
+        if id(node) in self._in_flight:
+            return name  # recursive reference; the edge is all we need
+        self._in_flight.add(id(node))
+        try:
+            return self._declare_named_element(node, name)
+        finally:
+            self._in_flight.discard(id(node))
+
+    def _declare_named_element(self, node: ElementNode, name: str) -> str:
+        type_attr = node.get("type")
+        inline = _first_child(node, "complexType")
+        if type_attr is not None and _is_simple_type(type_attr):
+            decl = self.schema.declare(name)
+            decl.text_kind = _value_kind(type_attr)
+        elif type_attr is not None:
+            type_name = _local(type_attr)
+            definition = self.complex_types.get(type_name)
+            if definition is None:
+                raise SchemaError(
+                    f"element {name!r} references unknown type "
+                    f"{type_attr!r}"
+                )
+            self.schema.declare(name, type_name=type_name)
+            self._expand_complex_type(name, type_name, definition)
+        elif inline is not None:
+            self.schema.declare(name)
+            self._apply_complex_body(name, inline)
+        else:
+            # xs:element with neither type nor body: empty element.
+            self.schema.declare(name)
+        return name
+
+    def _expand_complex_type(
+        self, element_name: str, type_name: str, definition: ElementNode
+    ) -> None:
+        key = (element_name, type_name)
+        if key in self._expanded:
+            return
+        self._expanded.add(key)
+        self._apply_complex_body(element_name, definition)
+
+    # -- complex type bodies -------------------------------------------------
+
+    def _apply_complex_body(
+        self, element_name: str, body: ElementNode
+    ) -> None:
+        decl = self.schema[element_name]
+        if body.get("mixed") == "true":
+            decl.text_kind = decl.text_kind or "string"
+        for child in body.element_children:
+            kind = _local(child.name)
+            if kind in ("sequence", "choice", "all"):
+                self._apply_particle(element_name, child)
+            elif kind == "attribute":
+                self._apply_attribute(decl, child)
+            elif kind == "simpleContent":
+                self._apply_simple_content(decl, child)
+            elif kind in ("annotation",):
+                continue
+            else:
+                raise SchemaError(
+                    f"unsupported construct xs:{kind} in type of "
+                    f"{element_name!r}"
+                )
+
+    def _apply_particle(
+        self, element_name: str, particle: ElementNode
+    ) -> None:
+        for child in particle.element_children:
+            kind = _local(child.name)
+            if kind == "element":
+                child_name = self._declare_element(child)
+                self.schema.add_edge(element_name, child_name)
+            elif kind in ("sequence", "choice", "all"):
+                self._apply_particle(element_name, child)
+            elif kind in ("annotation", "any"):
+                continue
+            else:
+                raise SchemaError(
+                    f"unsupported particle xs:{kind} under "
+                    f"{element_name!r}"
+                )
+
+    def _apply_attribute(self, decl, node: ElementNode) -> None:
+        name = node.get("name")
+        if not name:
+            raise SchemaError("xs:attribute without a name")
+        decl.add_attribute(name, _value_kind(node.get("type")))
+
+    def _apply_simple_content(self, decl, node: ElementNode) -> None:
+        extension = _first_child(node, "extension")
+        base = extension.get("base") if extension is not None else None
+        decl.text_kind = _value_kind(base)
+        if extension is not None:
+            for child in extension.element_children:
+                if _local(child.name) == "attribute":
+                    self._apply_attribute(decl, child)
+
+
+def _first_child(node: ElementNode, local_name: str) -> ElementNode | None:
+    for child in node.element_children:
+        if _local(child.name) == local_name:
+            return child
+    return None
+
+
+def parse_xsd(text: str) -> Schema:
+    """Parse an XSD document into a :class:`Schema`.
+
+    :raises SchemaError: for documents outside the supported subset.
+    """
+    document = parse_document(text, name="xsd")
+    return _XSDReader(document.root).read()

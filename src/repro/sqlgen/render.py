@@ -1,0 +1,114 @@
+"""Rendering of the SQL AST to SQLite text, plus literal helpers.
+
+Literals are inlined (the paper's statements inline them too); strings are
+quote-doubled, blobs use ``X'..'`` hex literals.  Regular-expression path
+filters render as calls to the ``regexp_like(value, pattern)`` user
+function that :class:`repro.storage.database.Database` registers, matching
+the paper's Oracle ``REGEXP_LIKE`` call shape.
+"""
+
+from __future__ import annotations
+
+from repro.sqlgen.ast import (
+    And,
+    Comparison,
+    Condition,
+    Exists,
+    Not,
+    Or,
+    Raw,
+    SelectStatement,
+    UnionStatement,
+)
+
+
+def string_literal(value: str) -> str:
+    """A safely quoted SQL string literal."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def number_literal(value: float) -> str:
+    """A SQL numeric literal (integers render without a decimal point)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def blob_literal(value: bytes) -> str:
+    """A SQLite hex blob literal, e.g. ``X'000001'``."""
+    return "X'" + value.hex().upper() + "'"
+
+
+def render_condition(condition: Condition, indent: int = 0) -> str:
+    """Render one condition node; composite nodes parenthesize children."""
+    if isinstance(condition, Raw):
+        return condition.sql
+    if isinstance(condition, Comparison):
+        return f"{condition.left} {condition.op} {condition.right}"
+    if isinstance(condition, And):
+        if not condition.parts:
+            return "1=1"
+        rendered = [render_condition(p, indent) for p in condition.parts]
+        if len(rendered) == 1:
+            return rendered[0]
+        return "(" + " AND ".join(rendered) + ")"
+    if isinstance(condition, Or):
+        if not condition.parts:
+            return "1=0"
+        rendered = [render_condition(p, indent) for p in condition.parts]
+        if len(rendered) == 1:
+            return rendered[0]
+        return "(" + " OR ".join(rendered) + ")"
+    if isinstance(condition, Not):
+        return "NOT " + _parenthesized(condition.operand, indent)
+    if isinstance(condition, Exists):
+        inner = render_select(condition.subquery, indent + 1)
+        return f"EXISTS ({inner})"
+    raise TypeError(f"unknown condition node {condition!r}")
+
+
+def _parenthesized(condition: Condition, indent: int) -> str:
+    rendered = render_condition(condition, indent)
+    if rendered.startswith("(") or rendered.startswith("EXISTS"):
+        return rendered
+    return f"({rendered})"
+
+
+def render_select(statement: SelectStatement, indent: int = 0) -> str:
+    """Render one SELECT without a trailing semicolon."""
+    head = "SELECT DISTINCT" if statement.distinct else "SELECT"
+    columns = ", ".join(statement.columns) if statement.columns else "*"
+    # CROSS JOIN pins the binding order (semantically identical to a
+    # comma join in SQLite); the translator ordered the FROM clause so
+    # each Dewey range probe sees its driving relation first.
+    tables = " CROSS JOIN ".join(ref.sql() for ref in statement.tables)
+    parts = [f"{head} {columns}", f"FROM {tables}"]
+    if statement.where.parts:
+        where = render_condition(statement.where, indent)
+        # Drop the outermost parentheses of a top-level conjunction for
+        # readability.
+        if (
+            len(statement.where.parts) > 1
+            and where.startswith("(")
+            and where.endswith(")")
+        ):
+            where = where[1:-1]
+        parts.append(f"WHERE {where}")
+    if statement.order_by:
+        parts.append("ORDER BY " + ", ".join(statement.order_by))
+    pad = "\n" + "  " * indent
+    return pad.join(parts)
+
+
+def render_statement(
+    statement: SelectStatement | UnionStatement, indent: int = 0
+) -> str:
+    """Render a statement, including UNION splits."""
+    if isinstance(statement, SelectStatement):
+        return render_select(statement, indent)
+    rendered = "\nUNION\n".join(
+        render_select(branch, indent) for branch in statement.branches
+    )
+    if statement.order_by:
+        rendered += "\nORDER BY " + ", ".join(statement.order_by)
+    return rendered

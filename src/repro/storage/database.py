@@ -1,0 +1,120 @@
+"""SQLite connection wrapper with the ``regexp_like`` user function.
+
+The paper's SQL statements filter root-to-node paths with Oracle's
+``REGEXP_LIKE(value, pattern)``.  SQLite has no regex support built in,
+so :class:`Database` registers an equivalent deterministic user function
+backed by Python's :mod:`re` with a compiled-pattern cache — the SQL the
+translator emits is then shaped exactly like the paper's.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from functools import lru_cache
+from typing import Any, Iterable, Sequence
+
+from repro.errors import StorageError
+
+
+@lru_cache(maxsize=512)
+def _compiled(pattern: str) -> re.Pattern:
+    return re.compile(pattern)
+
+
+def _regexp_like(value: Any, pattern: str) -> int:
+    """Oracle-style ``REGEXP_LIKE``: true iff ``pattern`` matches anywhere
+    in ``value`` (our generated patterns are always ``^...$``-anchored)."""
+    if value is None:
+        return 0
+    return 1 if _compiled(pattern).search(str(value)) else 0
+
+
+class Database:
+    """Thin convenience wrapper around one :mod:`sqlite3` connection."""
+
+    def __init__(self, connection: sqlite3.Connection):
+        self.connection = connection
+        connection.create_function(
+            "regexp_like", 2, _regexp_like, deterministic=True
+        )
+        # Make the REGEXP operator available too (SQLite rewrites
+        # ``x REGEXP y`` to ``regexp(y, x)``).
+        connection.create_function(
+            "regexp",
+            2,
+            lambda pattern, value: _regexp_like(value, pattern),
+            deterministic=True,
+        )
+        connection.execute("PRAGMA foreign_keys = ON")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def memory(cls) -> "Database":
+        """A fresh in-memory database."""
+        return cls(sqlite3.connect(":memory:"))
+
+    @classmethod
+    def open(cls, path: str) -> "Database":
+        """Open (or create) a database file."""
+        return cls(sqlite3.connect(path))
+
+    # -- statement execution ------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        """Execute one statement, wrapping sqlite errors with the SQL."""
+        try:
+            return self.connection.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise StorageError(f"{exc}\nSQL was:\n{sql}") from exc
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        """Bulk-execute one statement over many parameter rows."""
+        try:
+            self.connection.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise StorageError(f"{exc}\nSQL was:\n{sql}") from exc
+
+    def executescript(self, script: str) -> None:
+        """Execute a multi-statement script."""
+        try:
+            self.connection.executescript(script)
+        except sqlite3.Error as exc:
+            raise StorageError(f"{exc}\nscript was:\n{script}") from exc
+
+    def query(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        """Execute and fetch all rows."""
+        return self.execute(sql, params).fetchall()
+
+    def query_one(self, sql: str, params: Sequence = ()) -> tuple | None:
+        """Execute and fetch the first row, if any."""
+        return self.execute(sql, params).fetchone()
+
+    def commit(self) -> None:
+        """Commit the current transaction."""
+        self.connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.connection.close()
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def query_plan(self, sql: str) -> list[str]:
+        """The EXPLAIN QUERY PLAN detail lines for ``sql``."""
+        rows = self.query("EXPLAIN QUERY PLAN " + sql)
+        return [row[-1] for row in rows]
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        rows = self.query(
+            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+        )
+        return [row[0] for row in rows]
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,125 @@
+"""Schema-oblivious Edge-like mapping (paper Section 5.1).
+
+All elements land in one central ``edge`` relation; attributes live in a
+dedicated ``attrs`` relation (the paper's footnote 3 option).  The Edge
+store keeps the same four descriptors as the schema-aware mapping —
+global ``id``, ``par_id``, ``dewey_pos`` and ``path_id`` — so the PPF
+translation algorithm applies unchanged, only against a single (large)
+relation, which is exactly the configuration the Figure 3 experiment
+compares against.
+"""
+
+from __future__ import annotations
+
+from repro.dewey import encode
+from repro.storage.database import Database
+from repro.storage.paths import PathIndex
+from repro.xmltree.nodes import Document
+
+_EDGE_DDL = [
+    """
+    CREATE TABLE IF NOT EXISTS docs (
+        id         INTEGER PRIMARY KEY,
+        name       TEXT NOT NULL,
+        base       INTEGER NOT NULL,
+        node_count INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE edge (
+        id        INTEGER PRIMARY KEY,
+        doc_id    INTEGER NOT NULL,
+        par_id    INTEGER,
+        name      TEXT NOT NULL,
+        path_id   INTEGER NOT NULL REFERENCES paths(id),
+        dewey_pos BLOB NOT NULL,
+        text      TEXT
+    )
+    """,
+    "CREATE INDEX idx_edge_par ON edge(par_id)",
+    "CREATE INDEX idx_edge_name ON edge(name)",
+    "CREATE INDEX idx_edge_dewey ON edge(dewey_pos, path_id)",
+    """
+    CREATE TABLE attrs (
+        elem_id INTEGER NOT NULL REFERENCES edge(id),
+        name    TEXT NOT NULL,
+        value   TEXT,
+        PRIMARY KEY (elem_id, name)
+    )
+    """,
+    "CREATE INDEX idx_attrs_name ON attrs(name, value)",
+]
+
+
+class EdgeStore:
+    """A schema-oblivious shredded XML store over one :class:`Database`."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.path_index = PathIndex(db)
+        row = db.query_one("SELECT COALESCE(MAX(base + node_count), 0) FROM docs")
+        self._next_base = int(row[0]) if row and row[0] is not None else 0
+
+    @classmethod
+    def create(cls, db: Database) -> "EdgeStore":
+        """Create the ``edge``/``attrs`` relations and return the store."""
+        db.execute(_EDGE_DDL[0])
+        # PathIndex creates `paths` before edge's FK references it.
+        PathIndex(db)
+        for statement in _EDGE_DDL[1:]:
+            db.execute(statement)
+        db.commit()
+        return cls(db)
+
+    def load(self, document: Document) -> int:
+        """Shred ``document`` into the central relation.
+
+        :returns: the assigned ``doc_id``.
+        """
+        base = self._next_base
+        cursor = self.db.execute(
+            "INSERT INTO docs (name, base, node_count) VALUES (?, ?, 0)",
+            (document.name, base),
+        )
+        doc_id = int(cursor.lastrowid)
+        edge_rows = []
+        attr_rows = []
+        count = 0
+        for element in document.iter_elements():
+            count += 1
+            global_id = base + element.node_id
+            parent = element.parent
+            text = element.direct_text
+            edge_rows.append(
+                (
+                    global_id,
+                    doc_id,
+                    base + parent.node_id if parent is not None else None,
+                    element.name,
+                    self.path_index.ensure(element.path),
+                    encode(element.dewey),
+                    text if text else None,
+                )
+            )
+            for attr_name, value in element.attributes.items():
+                attr_rows.append((global_id, attr_name, value))
+        self.db.executemany(
+            "INSERT INTO edge (id, doc_id, par_id, name, path_id, dewey_pos,"
+            " text) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            edge_rows,
+        )
+        self.db.executemany(
+            "INSERT INTO attrs (elem_id, name, value) VALUES (?, ?, ?)",
+            attr_rows,
+        )
+        self.db.execute(
+            "UPDATE docs SET node_count = ? WHERE id = ?", (count, doc_id)
+        )
+        self.db.commit()
+        self._next_base = base + count
+        return doc_id
+
+    def total_elements(self) -> int:
+        """Number of stored element rows."""
+        row = self.db.query_one("SELECT COUNT(*) FROM edge")
+        return int(row[0])

@@ -1,0 +1,54 @@
+"""The `Paths` relation — the root-to-node path index of Section 3.1.
+
+All distinct root-to-node label paths of the stored documents live in one
+relation, ``paths(id, path)``; every mapping relation carries a
+``path_id`` foreign key into it.  The index fills gradually during
+insertion, exactly as the paper describes, with an in-memory cache so
+loading is one lookup per element.
+"""
+
+from __future__ import annotations
+
+from repro.storage.database import Database
+
+PATHS_TABLE_DDL = """
+CREATE TABLE IF NOT EXISTS paths (
+    id   INTEGER PRIMARY KEY,
+    path TEXT NOT NULL UNIQUE
+)
+"""
+
+
+class PathIndex:
+    """Manages the ``paths`` relation of one database."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        db.execute(PATHS_TABLE_DDL)
+        self._cache: dict[str, int] = {
+            path: path_id
+            for path_id, path in db.query("SELECT id, path FROM paths")
+        }
+
+    def ensure(self, path: str) -> int:
+        """Id of ``path``, inserting it on first sight."""
+        path_id = self._cache.get(path)
+        if path_id is not None:
+            return path_id
+        cursor = self.db.execute(
+            "INSERT INTO paths (path) VALUES (?)", (path,)
+        )
+        path_id = int(cursor.lastrowid)
+        self._cache[path] = path_id
+        return path_id
+
+    def lookup(self, path: str) -> int | None:
+        """Id of ``path`` if present."""
+        return self._cache.get(path)
+
+    def all_paths(self) -> dict[str, int]:
+        """Snapshot of the whole index (path -> id)."""
+        return dict(self._cache)
+
+    def __len__(self) -> int:
+        return len(self._cache)

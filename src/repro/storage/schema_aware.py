@@ -1,0 +1,664 @@
+"""Schema-aware XML-to-relational mapping and shredder (paper Section 3).
+
+Mapping rules:
+
+* each globally shared complex type maps to one relation,
+* every other element declaration maps to its own relation,
+* text and attributes map to typed columns of the element's relation.
+
+Every relation carries the four descriptors of Figure 1c — ``id`` (global
+preorder element id), ``par_id`` (parent element id), ``dewey_pos``
+(binary Dewey position) and ``path_id`` (FK into the `Paths` relation) —
+plus ``doc_id``.  Indexes follow Section 3.1: the primary key on ``id``,
+an index on the parent FK and a composite index on
+``(dewey_pos, path_id)``.
+
+Simplification vs. the paper (documented in DESIGN.md): element ids are
+global across all relations, so a single ``par_id`` column replaces the
+paper's one-FK-column-per-possible-parent-relation; the sibling-axis
+conditions of Table 2 already assume such a comparable parent id.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.dewey import encode
+from repro.errors import SchemaError, StorageError
+from repro.schema.marking import SchemaMarking
+from repro.schema.model import Schema
+from repro.storage.database import Database
+from repro.storage.paths import PathIndex
+from repro.xmltree.nodes import Document, ElementNode
+
+#: Identifiers that element names must not shadow (meta tables and SQL
+#: keywords that commonly appear as tag names).
+_RESERVED = {
+    # meta tables of this library
+    "paths",
+    "docs",
+    "edge",
+    "attrs",
+    "accel",
+    "accel_attr",
+    # SQL keywords likely to appear as XML tag names
+    "abort", "add", "all", "alter", "and", "as", "asc", "attach",
+    "begin", "between", "by", "case", "cast", "check", "collate",
+    "column", "commit", "create", "cross", "current", "database",
+    "default", "delete", "desc", "distinct", "drop", "each", "else",
+    "end", "escape", "except", "exists", "explain", "filter", "for",
+    "foreign", "from", "full", "glob", "group", "having", "if", "in",
+    "index", "inner", "insert", "intersect", "into", "is", "join",
+    "key", "left", "like", "limit", "match", "natural", "no", "not",
+    "null", "of", "offset", "on", "or", "order", "outer", "over",
+    "plan", "pragma", "primary", "query", "references", "regexp",
+    "release", "rename", "right", "rollback", "row", "rows", "select",
+    "set", "table", "then", "to", "transaction", "trigger", "union",
+    "unique", "update", "using", "vacuum", "values", "view", "virtual",
+    "when", "where", "window", "with", "without",
+}
+
+_IDENTIFIER_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def sanitize_identifier(name: str, taken: set[str]) -> str:
+    """Turn an XML name into a fresh, safe SQL identifier.
+
+    Invalid characters become ``_``; reserved words and collisions (SQLite
+    identifiers are case-insensitive) get numeric suffixes.  ``taken`` is
+    updated with the chosen identifier's lowercase form.
+    """
+    base = _IDENTIFIER_RE.sub("_", name) or "el"
+    if base[0].isdigit():
+        base = "el_" + base
+    candidate = base
+    suffix = 1
+    while candidate.lower() in _RESERVED or candidate.lower() in taken:
+        suffix += 1
+        candidate = f"{base}_{suffix}"
+    taken.add(candidate.lower())
+    return candidate
+
+
+@dataclass
+class RelationInfo:
+    """One mapping relation: its table and typed value columns."""
+
+    table: str
+    #: Element names stored in this relation (one unless a shared type).
+    element_names: list[str]
+    text_kind: str | None = None
+    #: attribute name -> (column name, value kind)
+    attr_columns: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def shared(self) -> bool:
+        """True when several element names share this relation (complex
+        type reuse); rows then need the ``elname`` discriminator."""
+        return len(self.element_names) > 1
+
+    def attr_column(self, attr_name: str) -> tuple[str, str]:
+        """(column, kind) of an attribute.
+
+        :raises SchemaError: if the attribute is not declared.
+        """
+        try:
+            return self.attr_columns[attr_name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.table!r} has no attribute {attr_name!r}"
+            ) from None
+
+
+class SchemaAwareMapping:
+    """Derives the relational layout for a schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.relations: dict[str, RelationInfo] = {}
+        self._by_element: dict[str, RelationInfo] = {}
+        taken: set[str] = set()
+        by_type: dict[str, list[str]] = {}
+        reachable = schema.reachable_from_roots()
+        singles: list[str] = []
+        for name in schema.element_names():
+            if name not in reachable:
+                continue
+            decl = schema[name]
+            if decl.type_name:
+                by_type.setdefault(decl.type_name, []).append(name)
+            else:
+                singles.append(name)
+        for type_name, names in by_type.items():
+            self._add_relation(type_name, names, taken)
+        for name in singles:
+            self._add_relation(name, [name], taken)
+
+    def _add_relation(
+        self, raw_table: str, names: list[str], taken: set[str]
+    ) -> None:
+        table = sanitize_identifier(raw_table, taken)
+        text_kind: str | None = None
+        attr_columns: dict[str, tuple[str, str]] = {}
+        col_taken = {
+            "id",
+            "doc_id",
+            "par_id",
+            "path_id",
+            "dewey_pos",
+            "elname",
+            "text",
+        }
+        for name in names:
+            decl = self.schema[name]
+            if decl.text_kind is not None:
+                # A shared relation degrades mixed kinds to string.
+                if text_kind is None:
+                    text_kind = decl.text_kind
+                elif text_kind != decl.text_kind:
+                    text_kind = "string"
+            for attr in decl.attributes.values():
+                if attr.name not in attr_columns:
+                    column = sanitize_identifier("attr_" + attr.name, col_taken)
+                    attr_columns[attr.name] = (column, attr.kind)
+        info = RelationInfo(table, list(names), text_kind, attr_columns)
+        self.relations[table] = info
+        for name in names:
+            self._by_element[name] = info
+
+    # -- lookup ------------------------------------------------------------
+
+    def relation_for(self, element_name: str) -> RelationInfo:
+        """The relation storing elements named ``element_name``.
+
+        :raises SchemaError: if the name is not mapped.
+        """
+        try:
+            return self._by_element[element_name]
+        except KeyError:
+            raise SchemaError(
+                f"no relation maps element {element_name!r}"
+            ) from None
+
+    def relations_for(self, element_names) -> list[RelationInfo]:
+        """Distinct relations covering the given element names, in stable
+        (table-name) order."""
+        seen: dict[str, RelationInfo] = {}
+        for name in element_names:
+            info = self.relation_for(name)
+            seen.setdefault(info.table, info)
+        return [seen[t] for t in sorted(seen)]
+
+    # -- DDL ------------------------------------------------------------------
+
+    def ddl(self) -> list[str]:
+        """CREATE TABLE / CREATE INDEX statements for all relations."""
+        statements = []
+        for info in self.relations.values():
+            columns = [
+                "id INTEGER PRIMARY KEY",
+                "doc_id INTEGER NOT NULL",
+                "par_id INTEGER",
+                "path_id INTEGER NOT NULL REFERENCES paths(id)",
+                "dewey_pos BLOB NOT NULL",
+            ]
+            if info.shared:
+                columns.append("elname TEXT NOT NULL")
+            if info.text_kind is not None:
+                sql_type = "NUMERIC" if info.text_kind == "number" else "TEXT"
+                columns.append(f"text {sql_type}")
+            for column, kind in info.attr_columns.values():
+                sql_type = "NUMERIC" if kind == "number" else "TEXT"
+                columns.append(f"{column} {sql_type}")
+            statements.append(
+                f"CREATE TABLE {info.table} (\n  "
+                + ",\n  ".join(columns)
+                + "\n)"
+            )
+            statements.append(
+                f"CREATE INDEX idx_{info.table}_par ON {info.table}(par_id)"
+            )
+            statements.append(
+                f"CREATE INDEX idx_{info.table}_dewey "
+                f"ON {info.table}(dewey_pos, path_id)"
+            )
+        return statements
+
+
+_DOCS_DDL = """
+CREATE TABLE IF NOT EXISTS docs (
+    id         INTEGER PRIMARY KEY,
+    name       TEXT NOT NULL,
+    base       INTEGER NOT NULL,
+    node_count INTEGER NOT NULL
+)
+"""
+
+_META_DDL = """
+CREATE TABLE IF NOT EXISTS repro_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+)
+"""
+
+
+class ShreddedStore:
+    """A schema-aware shredded XML store over one :class:`Database`."""
+
+    def __init__(
+        self,
+        db: Database,
+        schema: Schema,
+        mapping: SchemaAwareMapping,
+        marking: SchemaMarking,
+    ):
+        self.db = db
+        self.schema = schema
+        self.mapping = mapping
+        self.marking = marking
+        self.path_index = PathIndex(db)
+        self._next_base = self._initial_base()
+
+    @classmethod
+    def create(cls, db: Database, schema: Schema) -> "ShreddedStore":
+        """Create all relations in ``db`` and return the store.
+
+        The schema graph is persisted alongside the data (``repro_meta``)
+        so :meth:`open` can reattach to the database later.
+        """
+        schema.validate()
+        mapping = SchemaAwareMapping(schema)
+        db.execute(_DOCS_DDL)
+        db.execute(_META_DDL)
+        db.execute(
+            "INSERT OR REPLACE INTO repro_meta (key, value) VALUES (?, ?)",
+            ("schema", json.dumps(schema.to_dict())),
+        )
+        for statement in mapping.ddl():
+            db.execute(statement)
+        db.commit()
+        return cls(db, schema, mapping, SchemaMarking(schema))
+
+    @classmethod
+    def open(cls, db: Database) -> "ShreddedStore":
+        """Reattach to a database previously built by :meth:`create`.
+
+        :raises StorageError: when the database has no persisted schema.
+        """
+        row = db.query_one(
+            "SELECT value FROM repro_meta WHERE key = 'schema'"
+        ) if "repro_meta" in db.table_names() else None
+        if row is None:
+            raise StorageError(
+                "database holds no persisted schema; was it created by "
+                "ShreddedStore.create()?"
+            )
+        schema = Schema.from_dict(json.loads(row[0]))
+        mapping = SchemaAwareMapping(schema)
+        return cls(db, schema, mapping, SchemaMarking(schema))
+
+    def _initial_base(self) -> int:
+        row = self.db.query_one("SELECT COALESCE(MAX(base + node_count), 0) FROM docs")
+        return int(row[0]) if row and row[0] is not None else 0
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, document: Document) -> int:
+        """Shred ``document`` into the mapping relations.
+
+        :returns: the assigned ``doc_id``.
+        :raises StorageError: if the document does not conform to the
+            store's schema.
+        """
+        if not self.schema.conforms(document):
+            raise StorageError(
+                f"document {document.name!r} does not conform to the schema"
+            )
+        base = self._next_base
+        count = 0
+        rows_by_relation: dict[str, list[tuple]] = {}
+        insert_sql: dict[str, str] = {}
+        cursor = self.db.execute(
+            "INSERT INTO docs (name, base, node_count) VALUES (?, ?, 0)",
+            (document.name, base),
+        )
+        doc_id = int(cursor.lastrowid)
+        for element in document.iter_elements():
+            count += 1
+            info = self.mapping.relation_for(element.name)
+            if info.table not in insert_sql:
+                insert_sql[info.table] = self._insert_sql(info)
+                rows_by_relation[info.table] = []
+            rows_by_relation[info.table].append(
+                self._row_for(element, info, doc_id, base)
+            )
+        for table, rows in rows_by_relation.items():
+            self.db.executemany(insert_sql[table], rows)
+        self.db.execute(
+            "UPDATE docs SET node_count = ? WHERE id = ?", (count, doc_id)
+        )
+        self.db.commit()
+        self._next_base = base + count
+        return doc_id
+
+    def _insert_sql(self, info: RelationInfo) -> str:
+        columns = ["id", "doc_id", "par_id", "path_id", "dewey_pos"]
+        if info.shared:
+            columns.append("elname")
+        if info.text_kind is not None:
+            columns.append("text")
+        columns.extend(col for col, _ in info.attr_columns.values())
+        placeholders = ", ".join("?" for _ in columns)
+        return (
+            f"INSERT INTO {info.table} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})"
+        )
+
+    def _row_for(
+        self,
+        element: ElementNode,
+        info: RelationInfo,
+        doc_id: int,
+        base: int,
+    ) -> tuple:
+        parent = element.parent
+        row: list = [
+            base + element.node_id,
+            doc_id,
+            base + parent.node_id if parent is not None else None,
+            self.path_index.ensure(element.path),
+            encode(element.dewey),
+        ]
+        if info.shared:
+            row.append(element.name)
+        if info.text_kind is not None:
+            text = element.direct_text
+            row.append(_convert(text, info.text_kind) if text else None)
+        for attr_name, (_, kind) in info.attr_columns.items():
+            value = element.attributes.get(attr_name)
+            row.append(None if value is None else _convert(value, kind))
+        return tuple(row)
+
+    # -- id translation -------------------------------------------------------------
+
+    def doc_base(self, doc_id: int) -> int:
+        """Global-id base of a document."""
+        row = self.db.query_one("SELECT base FROM docs WHERE id = ?", (doc_id,))
+        if row is None:
+            raise StorageError(f"unknown doc_id {doc_id}")
+        return int(row[0])
+
+    def to_document_node_id(self, global_id: int) -> tuple[int, int]:
+        """Map a global element id back to ``(doc_id, node_id)``."""
+        row = self.db.query_one(
+            "SELECT id, base FROM docs "
+            "WHERE base < ? AND ? <= base + node_count",
+            (global_id, global_id),
+        )
+        if row is None:
+            raise StorageError(f"global id {global_id} belongs to no document")
+        return int(row[0]), global_id - int(row[1])
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def delete_document(self, doc_id: int) -> int:
+        """Remove one document's rows from every mapping relation.
+
+        The `Paths` relation is left untouched (paths are shared across
+        documents, exactly like the paper's gradually-filled index).
+
+        :returns: the number of element rows removed.
+        :raises StorageError: for an unknown ``doc_id``.
+        """
+        row = self.db.query_one(
+            "SELECT node_count FROM docs WHERE id = ?", (doc_id,)
+        )
+        if row is None:
+            raise StorageError(f"unknown doc_id {doc_id}")
+        removed = 0
+        for table in self.mapping.relations:
+            cursor = self.db.execute(
+                f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,)
+            )
+            removed += cursor.rowcount
+        self.db.execute("DELETE FROM docs WHERE id = ?", (doc_id,))
+        self.db.commit()
+        return removed
+
+    def append_subtree(self, parent_global_id: int, element: ElementNode) -> list[int]:
+        """Insert ``element`` (with its subtree) as the last child of an
+        existing stored element — the paper's incremental insertion: new
+        root-to-node paths join the `Paths` relation on first sight and
+        Dewey ordinals extend without renumbering (append position).
+
+        The fragment must conform to the schema below the parent's
+        declaration.  Returns the new global element ids (preorder).
+
+        Appended elements carry correct descriptors for querying, but
+        fall outside the original document's contiguous id range;
+        :meth:`to_document_node_id` does not cover them (result rows
+        still carry the right ``doc_id``).
+
+        :raises StorageError: unknown parent or non-conforming fragment.
+        """
+        located = self._locate_with_info(parent_global_id)
+        if located is None:
+            raise StorageError(f"no element with id {parent_global_id}")
+        doc_id, parent_dewey_blob, parent_info = located
+        parent_name = self._element_name_of(parent_global_id, parent_info)
+        if not self._subtree_conforms(parent_name, element):
+            raise StorageError(
+                f"fragment <{element.name}> does not conform to the "
+                f"schema under {parent_name!r}"
+            )
+        from repro.dewey import decode
+        from repro.xmltree.nodes import Document
+
+        parent_vector = decode(parent_dewey_blob)
+        ordinal = self._next_child_ordinal(parent_global_id)
+        parent_path_row = self.db.query_one(
+            f"SELECT p.path FROM {parent_info.table} t, paths p "
+            f"WHERE t.id = ? AND t.path_id = p.id",
+            (parent_global_id,),
+        )
+        parent_path = parent_path_row[0]
+
+        # Index the fragment standalone, then translate its descriptors
+        # into the parent's coordinate system.
+        fragment = Document(element, name="fragment")
+        base = self._next_base
+        new_ids = []
+        rows_by_relation: dict[str, list[tuple]] = {}
+        insert_sql: dict[str, str] = {}
+        for node in fragment.iter_elements():
+            info = self.mapping.relation_for(node.name)
+            if info.table not in insert_sql:
+                insert_sql[info.table] = self._insert_sql(info)
+                rows_by_relation[info.table] = []
+            absolute_dewey = parent_vector + (ordinal,) + node.dewey[1:]
+            absolute_path = parent_path + node.path
+            par_id = (
+                parent_global_id
+                if node.parent is None
+                else base + node.parent.node_id
+            )
+            global_id = base + node.node_id
+            new_ids.append(global_id)
+            row: list = [
+                global_id,
+                doc_id,
+                par_id,
+                self.path_index.ensure(absolute_path),
+                encode(absolute_dewey),
+            ]
+            if info.shared:
+                row.append(node.name)
+            if info.text_kind is not None:
+                text = node.direct_text
+                row.append(_convert(text, info.text_kind) if text else None)
+            for attr_name, (_, kind) in info.attr_columns.items():
+                value = node.attributes.get(attr_name)
+                row.append(None if value is None else _convert(value, kind))
+            rows_by_relation[info.table].append(tuple(row))
+        for table, rows in rows_by_relation.items():
+            self.db.executemany(insert_sql[table], rows)
+        self.db.commit()
+        self._next_base = base + len(new_ids)
+        return new_ids
+
+    def _next_child_ordinal(self, parent_global_id: int) -> int:
+        """1 + the largest existing child ordinal under the parent."""
+        highest = 0
+        for table in self.mapping.relations:
+            row = self.db.query_one(
+                f"SELECT MAX(dewey_pos) FROM {table} WHERE par_id = ?",
+                (parent_global_id,),
+            )
+            if row and row[0] is not None:
+                from repro.dewey import decode
+
+                ordinal = decode(bytes(row[0]))[-1]
+                highest = max(highest, ordinal)
+        return highest + 1
+
+    def _element_name_of(self, global_id: int, info: RelationInfo) -> str:
+        if not info.shared:
+            return info.element_names[0]
+        row = self.db.query_one(
+            f"SELECT elname FROM {info.table} WHERE id = ?", (global_id,)
+        )
+        return row[0]
+
+    def _subtree_conforms(self, parent_name: str, element: ElementNode) -> bool:
+        if element.name not in self.schema.children_of(parent_name):
+            return False
+        stack = [element]
+        while stack:
+            node = stack.pop()
+            if node.name not in self.schema.declarations:
+                return False
+            for child in node.element_children:
+                if child.name not in self.schema.children_of(node.name):
+                    return False
+                stack.append(child)
+        return True
+
+    def _locate_with_info(
+        self, global_id: int
+    ) -> tuple[int, bytes, RelationInfo] | None:
+        for info in self.mapping.relations.values():
+            row = self.db.query_one(
+                f"SELECT doc_id, dewey_pos FROM {info.table} WHERE id = ?",
+                (global_id,),
+            )
+            if row is not None:
+                return int(row[0]), bytes(row[1]), info
+        return None
+
+    def delete_subtree(self, global_id: int) -> int:
+        """Remove one element and its whole subtree from every relation.
+
+        A showcase of the Dewey model: the subtree is exactly one
+        lexicographic range per relation
+        (``dewey_pos BETWEEN d AND d || 0xFF`` within the same document),
+        so no tree traversal is needed.
+
+        :returns: the number of element rows removed.
+        :raises StorageError: when ``global_id`` does not exist.
+        """
+        located = self._locate(global_id)
+        if located is None:
+            raise StorageError(f"no element with id {global_id}")
+        doc_id, dewey = located
+        upper = dewey + b"\xff"
+        removed = 0
+        for table in self.mapping.relations:
+            cursor = self.db.execute(
+                f"DELETE FROM {table} WHERE doc_id = ? "
+                f"AND dewey_pos >= ? AND dewey_pos < ?",
+                (doc_id, dewey, upper),
+            )
+            removed += cursor.rowcount
+        self.db.commit()
+        return removed
+
+    def update_text(self, global_id: int, value) -> None:
+        """Set the text value of one element.
+
+        :raises StorageError: when the element does not exist or its
+            relation has no text column.
+        """
+        info = self._relation_of(global_id)
+        if info.text_kind is None:
+            raise StorageError(
+                f"relation {info.table!r} stores no text values"
+            )
+        self.db.execute(
+            f"UPDATE {info.table} SET text = ? WHERE id = ?",
+            (_convert(str(value), info.text_kind), global_id),
+        )
+        self.db.commit()
+
+    def update_attribute(self, global_id: int, name: str, value) -> None:
+        """Set one attribute of one element (``None`` removes it).
+
+        :raises StorageError: when the element does not exist or the
+            attribute is not declared for its relation.
+        """
+        info = self._relation_of(global_id)
+        column, kind = info.attr_column(name)
+        converted = None if value is None else _convert(str(value), kind)
+        self.db.execute(
+            f"UPDATE {info.table} SET {column} = ? WHERE id = ?",
+            (converted, global_id),
+        )
+        self.db.commit()
+
+    def _locate(self, global_id: int) -> tuple[int, bytes] | None:
+        """(doc_id, dewey_pos) of an element, searching all relations."""
+        for table in self.mapping.relations:
+            row = self.db.query_one(
+                f"SELECT doc_id, dewey_pos FROM {table} WHERE id = ?",
+                (global_id,),
+            )
+            if row is not None:
+                return int(row[0]), bytes(row[1])
+        return None
+
+    def _relation_of(self, global_id: int) -> RelationInfo:
+        for table, info in self.mapping.relations.items():
+            row = self.db.query_one(
+                f"SELECT 1 FROM {table} WHERE id = ?", (global_id,)
+            )
+            if row is not None:
+                return info
+        raise StorageError(f"no element with id {global_id}")
+
+    # -- stats ------------------------------------------------------------------------
+
+    def relation_counts(self) -> dict[str, int]:
+        """Row count per mapping relation (diagnostics / tests)."""
+        return {
+            table: self.db.query_one(f"SELECT COUNT(*) FROM {table}")[0]
+            for table in sorted(self.mapping.relations)
+        }
+
+    def total_elements(self) -> int:
+        """Total element count across all loaded documents."""
+        row = self.db.query_one("SELECT COALESCE(SUM(node_count), 0) FROM docs")
+        return int(row[0])
+
+
+def _convert(value: str, kind: str):
+    """Convert a raw XML value to its column representation."""
+    if kind != "number":
+        return value
+    try:
+        number = float(value)
+    except ValueError:
+        return value
+    if number == int(number):
+        return int(number)
+    return number

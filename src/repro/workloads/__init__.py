@@ -1,0 +1,28 @@
+"""Synthetic benchmark workloads reproducing the paper's evaluation data.
+
+* :mod:`repro.workloads.xmark`     — an XMark-like auction-site document
+  generator (stand-in for the XMark generator's 12 MB / 113 MB files),
+* :mod:`repro.workloads.xpathmark` — the XPathMark query subset of
+  Appendix B plus the join query Q-A,
+* :mod:`repro.workloads.dblp`      — a DBLP-like bibliography generator
+  and the QD1–QD5 queries of Table 7.
+"""
+
+from repro.workloads.xmark import XMarkConfig, generate_xmark
+from repro.workloads.xpathmark import (
+    XPATHMARK_QUERIES,
+    BenchmarkQuery,
+    xpathmark_query,
+)
+from repro.workloads.dblp import DBLP_QUERIES, DBLPConfig, generate_dblp
+
+__all__ = [
+    "BenchmarkQuery",
+    "DBLP_QUERIES",
+    "DBLPConfig",
+    "XMarkConfig",
+    "XPATHMARK_QUERIES",
+    "generate_dblp",
+    "generate_xmark",
+    "xpathmark_query",
+]

@@ -1,0 +1,189 @@
+"""Deterministic DBLP-like bibliography generator and the Table 7 queries.
+
+The real evaluation used the 130 MB DBLP XML database; this generator
+reproduces the structural features QD1–QD5 exercise:
+
+* ``inproceedings``/``article``/``book`` entries with ``author+`` before
+  ``title`` (QD1's ``preceding-sibling::author``),
+* markup inside titles — ``sup``, ``sub`` and ``i``, including the
+  ``article//title/sub/sup/i`` nesting QD4 matches,
+* numeric ``year`` elements (QD2's range predicate),
+* author overlap between books and inproceedings (QD5's value join),
+* the exact author name ``'Harold G. Longbotham'`` on a few entries
+  (QD1's literal).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmltree.builder import DocumentBuilder
+from repro.xmltree.nodes import Document
+from repro.workloads.xpathmark import BenchmarkQuery
+
+_TOPICS = (
+    "indexing query optimization shredding storage caching recovery "
+    "replication integration warehousing mining streams encoding joins"
+).split()
+
+_VENUES = ["SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM", "PODS"]
+
+_JOURNALS = ["TODS", "VLDBJ", "TKDE", "Inf. Syst."]
+
+_FIRST = (
+    "Alice Bob Carol David Erika Frank Grace Henri Ilse Jack Karin Luis "
+    "Maria Nikos Olga Pavel Quinn Rosa Stefan Tina"
+).split()
+
+_LAST = (
+    "Abiteboul Bernstein Codd Date Elmasri Franklin Gray Haas Ioannidis "
+    "Jagadish Kossmann Lehman Mohan Naughton Olken Papakonstantinou"
+).split()
+
+#: The literal author QD1 searches for.
+SPECIAL_AUTHOR = "Harold G. Longbotham"
+
+
+@dataclass
+class DBLPConfig:
+    """Sizing knobs; counts scale linearly with ``scale``."""
+
+    scale: float = 1.0
+    seed: int = 7
+    inproceedings: int = 60
+    articles: int = 30
+    books: int = 10
+
+    def scaled(self, base: int) -> int:
+        return max(1, round(base * self.scale))
+
+
+def generate_dblp(config: DBLPConfig | None = None) -> Document:
+    """Generate one bibliography document."""
+    config = config or DBLPConfig()
+    rng = random.Random(config.seed)
+    builder = DocumentBuilder("dblp")
+    gen = _Generator(config, rng, builder)
+    gen.run()
+    return builder.finish(name="dblp")
+
+
+class _Generator:
+    def __init__(
+        self, config: DBLPConfig, rng: random.Random, b: DocumentBuilder
+    ):
+        self.config = config
+        self.rng = rng
+        self.b = b
+        #: Author pool shared by all publication kinds (QD5 join hook).
+        self.pool = [
+            f"{first} {last}" for first in _FIRST for last in _LAST
+        ]
+
+    def author_names(self, count: int) -> list[str]:
+        return [self.rng.choice(self.pool) for _ in range(count)]
+
+    def title_words(self) -> str:
+        return (
+            f"{self.rng.choice(_TOPICS).capitalize()} techniques for "
+            f"{self.rng.choice(_TOPICS)} in {self.rng.choice(_TOPICS)}"
+        )
+
+    def title(self, markup: str | None) -> None:
+        """A title, optionally with sup/sub/i markup.
+
+        ``markup`` is ``None``, ``'sup'`` (title/sup, QD2/QD3),
+        ``'sub-i'`` (title/sub/sup/i, QD4's article shape) or ``'i'``.
+        """
+        with self.b.element("title"):
+            self.b.text(self.title_words())
+            if markup == "sup":
+                self.b.leaf("sup", str(self.rng.randint(2, 9)))
+            elif markup == "i":
+                self.b.leaf("i", self.rng.choice(_TOPICS))
+            elif markup == "sub-i":
+                with self.b.element("sub"):
+                    self.b.text("x")
+                    with self.b.element("sup"):
+                        self.b.text("k")
+                        self.b.leaf("i", "n")
+            self.b.text(".")
+
+    def run(self) -> None:
+        n_inproc = self.config.scaled(self.config.inproceedings)
+        n_articles = self.config.scaled(self.config.articles)
+        n_books = self.config.scaled(self.config.books)
+        for index in range(n_inproc):
+            self.inproceedings(index)
+        for index in range(n_articles):
+            self.article(index)
+        for index in range(n_books):
+            self.book(index)
+
+    def inproceedings(self, index: int) -> None:
+        with self.b.element("inproceedings", key=f"conf/x/{index}"):
+            authors = self.author_names(self.rng.randint(1, 3))
+            if index % 17 == 0:
+                authors[0] = SPECIAL_AUTHOR
+            for name in authors:
+                self.b.leaf("author", name)
+            # Roughly a third of conference titles carry superscripts.
+            markup = "sup" if index % 3 == 0 else None
+            self.title(markup)
+            self.b.leaf("pages", f"{index * 10 + 1}-{index * 10 + 12}")
+            self.b.leaf("year", str(1988 + index % 16))
+            self.b.leaf("booktitle", self.rng.choice(_VENUES))
+            self.b.leaf("url", f"db/conf/x/{index}.html")
+
+    def article(self, index: int) -> None:
+        with self.b.element("article", key=f"journals/x/{index}"):
+            for name in self.author_names(self.rng.randint(1, 3)):
+                self.b.leaf("author", name)
+            if index % 7 == 0:
+                markup = "sub-i"  # the QD4 shape
+            elif index % 4 == 0:
+                markup = "i"
+            else:
+                markup = None
+            self.title(markup)
+            self.b.leaf("journal", self.rng.choice(_JOURNALS))
+            self.b.leaf("volume", str(1 + index % 30))
+            self.b.leaf("year", str(1990 + index % 14))
+
+    def book(self, index: int) -> None:
+        with self.b.element("book", key=f"books/x/{index}"):
+            for name in self.author_names(self.rng.randint(1, 2)):
+                self.b.leaf("author", name)
+            self.title(None)
+            self.b.leaf("publisher", "Example Press")
+            self.b.leaf("year", str(1992 + index % 12))
+            self.b.leaf("isbn", f"0-000-{index:05d}-0")
+
+
+DBLP_QUERIES: list[BenchmarkQuery] = [
+    BenchmarkQuery(
+        "QD1",
+        "//inproceedings/title"
+        f"[preceding-sibling::author = '{SPECIAL_AUTHOR}']",
+        "preceding-sibling value predicate",
+    ),
+    BenchmarkQuery(
+        "QD2",
+        "/dblp/inproceedings[year>=1994]//sup",
+        "range predicate with descendant step",
+    ),
+    BenchmarkQuery(
+        "QD3", "/dblp/inproceedings/title/sup", "plain child path"
+    ),
+    BenchmarkQuery(
+        "QD4",
+        "//i[parent::*/parent::sub/ancestor::article]",
+        "backward-path-only predicate",
+    ),
+    BenchmarkQuery(
+        "QD5",
+        "/dblp/inproceedings[author=/dblp/book/author]/title",
+        "value join against an absolute path",
+    ),
+]

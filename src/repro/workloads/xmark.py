@@ -1,0 +1,329 @@
+"""Deterministic XMark-like auction-site document generator.
+
+Reproduces the structural features of the XMark benchmark schema that the
+XPathMark query subset (Appendix B) exercises: six regions with items,
+recursive ``parlist``/``listitem`` descriptions with marked-up ``text``
+(``bold``/``keyword``/``emph``), item mailboxes, open auctions with
+bidders and intervals, closed auctions with annotations, and people with
+optional address/phone/homepage.  The generator is seeded and fully
+deterministic; :class:`XMarkConfig.scale` grows every population linearly
+so two documents at scales ``s`` and ``10 s`` mirror the paper's 12 MB vs
+113 MB pair.
+
+Guaranteed query hooks (so every benchmark query has non-trivial
+results):
+
+* ``item0`` exists in the first region and ``open_auction0`` has several
+  bidders (Q9, Q10, Q21),
+* every eighth open auction's first bidder date equals its
+  ``interval/start`` (the Q-A value join),
+* some auctions bid ``person0`` before ``person1`` (Q11),
+* recursion depth of ``parlist`` inside ``listitem`` is bounded by
+  :attr:`XMarkConfig.max_nesting` (document recursion stays within what
+  the naive per-step baseline can expand).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmltree.builder import DocumentBuilder
+from repro.xmltree.nodes import Document
+
+_REGIONS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+
+_WORDS = (
+    "great auction vintage clock silver brass copper rare antique fine "
+    "carved wooden ivory painted glass ceramic woven silk linen cotton "
+    "ornate gilded heavy light large small early late signed unsigned "
+    "museum quality estate collection original restored working condition"
+).split()
+
+_KEYWORDS = (
+    "bargain collectible pristine heirloom artisan certified appraised "
+    "auctioned exclusive limited premium classic"
+).split()
+
+_CITIES = (
+    "Athens Berlin Cairo Delhi Lima Osaka Paris Quito Sydney Toronto"
+).split()
+
+_COUNTRIES = "Greece Germany Egypt India Peru Japan France Ecuador Australia Canada".split()
+
+_FIRST = "Ada Ben Cleo Dan Eva Finn Gia Hugo Iris Jon Kira Leo Mia Noor".split()
+_LAST = "Avery Brook Chen Diaz Evans Frey Garza Haas Iqbal Jones Kemp Lund".split()
+
+
+@dataclass
+class XMarkConfig:
+    """Sizing knobs for the generator (all counts scale linearly)."""
+
+    scale: float = 1.0
+    seed: int = 42
+    items_per_region: int = 6
+    people: int = 25
+    open_auctions: int = 12
+    closed_auctions: int = 8
+    categories: int = 5
+    #: Maximum ``parlist``-inside-``listitem`` recursion depth.
+    max_nesting: int = 2
+
+    def scaled(self, base: int) -> int:
+        return max(1, round(base * self.scale))
+
+
+def generate_xmark(config: XMarkConfig | None = None) -> Document:
+    """Generate one auction-site document."""
+    config = config or XMarkConfig()
+    rng = random.Random(config.seed)
+    gen = _Generator(config, rng)
+    return gen.build()
+
+
+class _Generator:
+    def __init__(self, config: XMarkConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+        self.n_items = config.scaled(config.items_per_region)
+        self.n_people = config.scaled(config.people)
+        self.n_open = config.scaled(config.open_auctions)
+        self.n_closed = config.scaled(config.closed_auctions)
+        self.n_categories = config.scaled(config.categories)
+        self.total_items = self.n_items * len(_REGIONS)
+        self._item_seq = 0
+
+    # -- primitives ----------------------------------------------------------
+
+    def words(self, low: int, high: int) -> str:
+        count = self.rng.randint(low, high)
+        return " ".join(self.rng.choice(_WORDS) for _ in range(count))
+
+    def date(self) -> str:
+        return (
+            f"{self.rng.randint(1, 12):02d}/"
+            f"{self.rng.randint(1, 28):02d}/"
+            f"{self.rng.randint(1998, 2004)}"
+        )
+
+    def time(self) -> str:
+        return f"{self.rng.randint(0, 23):02d}:{self.rng.randint(0, 59):02d}:00"
+
+    def person_ref(self) -> str:
+        return f"person{self.rng.randrange(self.n_people)}"
+
+    def person_name(self, index: int) -> str:
+        return (
+            f"{_FIRST[index % len(_FIRST)]} "
+            f"{_LAST[(index // len(_FIRST)) % len(_LAST)]}"
+        )
+
+    # -- marked-up text -------------------------------------------------------
+
+    def text_block(self, b: DocumentBuilder, keyword_chance: float = 0.6) -> None:
+        """A ``text`` element with optional bold/keyword/emph markup."""
+        with b.element("text"):
+            b.text(self.words(3, 8) + " ")
+            if self.rng.random() < keyword_chance:
+                b.leaf("keyword", self.rng.choice(_KEYWORDS))
+                b.text(" " + self.words(1, 4))
+            if self.rng.random() < 0.3:
+                with b.element("bold"):
+                    b.text(self.words(1, 3))
+                    if self.rng.random() < 0.4:
+                        b.leaf("keyword", self.rng.choice(_KEYWORDS))
+            if self.rng.random() < 0.2:
+                b.leaf("emph", self.words(1, 3))
+
+    def parlist(self, b: DocumentBuilder, depth: int) -> None:
+        with b.element("parlist"):
+            for _ in range(self.rng.randint(1, 3)):
+                with b.element("listitem"):
+                    if (
+                        depth < self.config.max_nesting
+                        and self.rng.random() < 0.35
+                    ):
+                        self.parlist(b, depth + 1)
+                    else:
+                        self.text_block(b)
+
+    def description(self, b: DocumentBuilder) -> None:
+        with b.element("description"):
+            if self.rng.random() < 0.6:
+                self.parlist(b, depth=1)
+            else:
+                self.text_block(b)
+
+    # -- site sections -----------------------------------------------------------
+
+    def build(self) -> Document:
+        b = DocumentBuilder("site")
+        self.regions(b)
+        self.categories(b)
+        self.catgraph(b)
+        self.people(b)
+        self.open_auctions(b)
+        self.closed_auctions(b)
+        return b.finish(name="xmark")
+
+    def regions(self, b: DocumentBuilder) -> None:
+        with b.element("regions"):
+            for region in _REGIONS:
+                with b.element(region):
+                    for _ in range(self.n_items):
+                        self.item(b)
+
+    def item(self, b: DocumentBuilder) -> None:
+        attrs = {"id": f"item{self._item_seq}"}
+        self._item_seq += 1
+        if self.rng.random() < 0.25:
+            attrs["featured"] = "yes"
+        with b.element("item", **attrs):
+            b.leaf("location", self.rng.choice(_COUNTRIES))
+            b.leaf("quantity", str(self.rng.randint(1, 5)))
+            b.leaf("name", self.words(2, 4))
+            with b.element("payment"):
+                b.text("Creditcard")
+            self.description(b)
+            with b.element("shipping"):
+                b.text("Will ship internationally")
+            for _ in range(self.rng.randint(0, 2)):
+                b.leaf(
+                    "incategory",
+                    category=f"category{self.rng.randrange(self.n_categories)}",
+                )
+            with b.element("mailbox"):
+                for _ in range(self.rng.randint(0, 2)):
+                    with b.element("mail"):
+                        b.leaf("from", self.person_name(self.rng.randrange(50)))
+                        b.leaf("to", self.person_name(self.rng.randrange(50)))
+                        b.leaf("date", self.date())
+                        self.text_block(b, keyword_chance=0.5)
+
+    def categories(self, b: DocumentBuilder) -> None:
+        with b.element("categories"):
+            for index in range(self.n_categories):
+                with b.element("category", id=f"category{index}"):
+                    b.leaf("name", self.words(1, 2))
+                    self.description(b)
+
+    def catgraph(self, b: DocumentBuilder) -> None:
+        with b.element("catgraph"):
+            for _ in range(self.n_categories):
+                b.leaf(
+                    "edge",
+                    **{
+                        "from": f"category{self.rng.randrange(self.n_categories)}",
+                        "to": f"category{self.rng.randrange(self.n_categories)}",
+                    },
+                )
+
+    def people(self, b: DocumentBuilder) -> None:
+        with b.element("people"):
+            for index in range(self.n_people):
+                with b.element("person", id=f"person{index}"):
+                    b.leaf("name", self.person_name(index))
+                    b.leaf(
+                        "emailaddress",
+                        f"mailto:{_FIRST[index % len(_FIRST)].lower()}@example.org",
+                    )
+                    if self.rng.random() < 0.5:
+                        b.leaf("phone", f"+30 {self.rng.randint(100, 999)} "
+                                        f"{self.rng.randint(1000, 9999)}")
+                    if self.rng.random() < 0.6:
+                        with b.element("address"):
+                            b.leaf("street", f"{self.rng.randint(1, 99)} "
+                                             f"{self.rng.choice(_WORDS)} St")
+                            b.leaf("city", self.rng.choice(_CITIES))
+                            b.leaf("country", self.rng.choice(_COUNTRIES))
+                            b.leaf("zipcode", str(self.rng.randint(10000, 99999)))
+                    if self.rng.random() < 0.4:
+                        b.leaf(
+                            "homepage",
+                            f"http://example.org/~{_FIRST[index % len(_FIRST)].lower()}",
+                        )
+                    if self.rng.random() < 0.5:
+                        b.leaf("creditcard", " ".join(
+                            str(self.rng.randint(1000, 9999)) for _ in range(4)
+                        ))
+                    if self.rng.random() < 0.5:
+                        with b.element("profile",
+                                       income=str(self.rng.randint(20000, 90000))):
+                            for _ in range(self.rng.randint(0, 2)):
+                                b.leaf(
+                                    "interest",
+                                    category=(
+                                        f"category"
+                                        f"{self.rng.randrange(self.n_categories)}"
+                                    ),
+                                )
+                            if self.rng.random() < 0.5:
+                                b.leaf(
+                                    "gender",
+                                    self.rng.choice(["male", "female"]),
+                                )
+                            b.leaf("business", self.rng.choice(["Yes", "No"]))
+                            if self.rng.random() < 0.5:
+                                b.leaf("age", str(self.rng.randint(18, 80)))
+
+    def open_auctions(self, b: DocumentBuilder) -> None:
+        with b.element("open_auctions"):
+            for index in range(self.n_open):
+                self.open_auction(b, index)
+
+    def open_auction(self, b: DocumentBuilder, index: int) -> None:
+        with b.element("open_auction", id=f"open_auction{index}"):
+            b.leaf("initial", f"{self.rng.uniform(5, 300):.2f}")
+            if self.rng.random() < 0.4:
+                b.leaf("reserve", f"{self.rng.uniform(50, 500):.2f}")
+            first_bidder_date = self.date()
+            bidder_count = self.rng.randint(0, 4) + (3 if index == 0 else 0)
+            for bid in range(bidder_count):
+                with b.element("bidder"):
+                    b.leaf("date", first_bidder_date if bid == 0 else self.date())
+                    b.leaf("time", self.time())
+                    # Q11 hook: occasionally bid person0 then person1.
+                    if bid == 0 and index % 5 == 1:
+                        ref = "person0"
+                    elif bid == 1 and index % 5 == 1:
+                        ref = "person1"
+                    else:
+                        ref = self.person_ref()
+                    b.leaf("personref", person=ref)
+                    b.leaf("increase", f"{self.rng.uniform(1, 30):.2f}")
+            b.leaf("current", f"{self.rng.uniform(10, 800):.2f}")
+            b.leaf("itemref", item=f"item{self.rng.randrange(self.total_items)}")
+            b.leaf("seller", person=self.person_ref())
+            with b.element("annotation"):
+                b.leaf("author", person=self.person_ref())
+                self.description(b)
+                b.leaf("happiness", str(self.rng.randint(1, 10)))
+            b.leaf("quantity", str(self.rng.randint(1, 3)))
+            b.leaf("type", self.rng.choice(["Regular", "Featured"]))
+            with b.element("interval"):
+                # Q-A hook: every eighth auction's start equals the first
+                # bidder's date (when it has bidders).
+                if index % 8 == 0 and bidder_count:
+                    b.leaf("start", first_bidder_date)
+                else:
+                    b.leaf("start", self.date())
+                b.leaf("end", self.date())
+
+    def closed_auctions(self, b: DocumentBuilder) -> None:
+        with b.element("closed_auctions"):
+            for _ in range(self.n_closed):
+                with b.element("closed_auction"):
+                    b.leaf("seller", person=self.person_ref())
+                    b.leaf("buyer", person=self.person_ref())
+                    b.leaf(
+                        "itemref",
+                        item=f"item{self.rng.randrange(self.total_items)}",
+                    )
+                    b.leaf("price", f"{self.rng.uniform(10, 900):.2f}")
+                    b.leaf("date", self.date())
+                    b.leaf("quantity", str(self.rng.randint(1, 3)))
+                    b.leaf("type", self.rng.choice(["Regular", "Featured"]))
+                    with b.element("annotation"):
+                        b.leaf("author", person=self.person_ref())
+                        self.description(b)
+                        b.leaf("happiness", str(self.rng.randint(1, 10)))

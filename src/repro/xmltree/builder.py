@@ -1,0 +1,66 @@
+"""A small fluent builder for constructing documents programmatically.
+
+Used by the synthetic workload generators and by tests; keeps generator
+code readable compared to hand-wiring :class:`ElementNode` objects.
+
+Example::
+
+    b = DocumentBuilder("site")
+    with b.element("regions"):
+        with b.element("item", id="item0", featured="yes"):
+            b.leaf("name", "Fine clock")
+    doc = b.finish()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.xmltree.nodes import Document, ElementNode
+
+
+class DocumentBuilder:
+    """Builds a :class:`Document` top-down with a context-manager API."""
+
+    def __init__(self, root_name: str, **attributes: str):
+        self._root = ElementNode(root_name)
+        for name, value in attributes.items():
+            self._root.set(name, value)
+        self._stack: list[ElementNode] = [self._root]
+
+    @property
+    def current(self) -> ElementNode:
+        """The element currently open for appending."""
+        return self._stack[-1]
+
+    @contextmanager
+    def element(self, name: str, **attributes: str) -> Iterator[ElementNode]:
+        """Open a child element for the duration of the ``with`` block."""
+        element = self.current.append_element(name)
+        for attr_name, value in attributes.items():
+            element.set(attr_name, value)
+        self._stack.append(element)
+        try:
+            yield element
+        finally:
+            self._stack.pop()
+
+    def leaf(self, name: str, text: str = "", **attributes: str) -> ElementNode:
+        """Append a child element with optional text content and return it."""
+        element = self.current.append_element(name)
+        for attr_name, value in attributes.items():
+            element.set(attr_name, value)
+        if text:
+            element.append_text(text)
+        return element
+
+    def text(self, value: str) -> None:
+        """Append a text node to the current element."""
+        self.current.append_text(value)
+
+    def finish(self, name: str = "document") -> Document:
+        """Index the tree and return the finished document."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced element() blocks")
+        return Document(self._root, name=name)

@@ -1,0 +1,129 @@
+"""Tokenizer for XPath expressions.
+
+Produces a flat token stream; context-sensitive decisions (``*`` as
+wildcard vs. multiplication, ``and``/``or``/``div``/``mod`` as names vs.
+operators) are left to the recursive-descent parser, which always knows
+whether it expects an operand or an operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XPathSyntaxError
+
+#: Multi-character symbols, longest first so ``//`` wins over ``/``.
+_SYMBOLS = [
+    "//",
+    "..",
+    "::",
+    "!=",
+    "<=",
+    ">=",
+    "/",
+    "[",
+    "]",
+    "(",
+    ")",
+    "@",
+    ".",
+    ",",
+    "|",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "$",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``'name'``, ``'number'``, ``'literal'``, ``'symbol'`` or
+    ``'end'``; ``value`` holds the text (or the literal's content), and
+    ``position`` the character offset in the source expression.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_symbol(self, *symbols: str) -> bool:
+        """True when this is one of the given symbol tokens."""
+        return self.kind == "symbol" and self.value in symbols
+
+    def is_name(self, *names: str) -> bool:
+        """True for a name token (optionally among ``names``)."""
+        if self.kind != "name":
+            return False
+        return not names or self.value in names
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_.-"
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize ``expression``; the result always ends with an ``end``
+    token.
+
+    :raises XPathSyntaxError: on characters outside the language.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(expression)
+    while pos < length:
+        char = expression[pos]
+        if char in " \t\r\n":
+            pos += 1
+            continue
+        if char in "'\"":
+            end = expression.find(char, pos + 1)
+            if end < 0:
+                raise XPathSyntaxError(
+                    "unterminated string literal", pos, expression
+                )
+            tokens.append(Token("literal", expression[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and pos + 1 < length and expression[pos + 1].isdigit()
+        ):
+            start = pos
+            while pos < length and expression[pos].isdigit():
+                pos += 1
+            if pos < length and expression[pos] == ".":
+                pos += 1
+                while pos < length and expression[pos].isdigit():
+                    pos += 1
+            tokens.append(Token("number", expression[start:pos], start))
+            continue
+        if _is_name_start(char):
+            start = pos
+            pos += 1
+            # Names may embed '.' and '-' (QName-ish); a '-' followed by a
+            # name character continues the name (XPath NCName rule), which
+            # is why 'preceding-sibling' lexes as one token.
+            while pos < length and _is_name_char(expression[pos]):
+                pos += 1
+            tokens.append(Token("name", expression[start:pos], start))
+            continue
+        for symbol in _SYMBOLS:
+            if expression.startswith(symbol, pos):
+                tokens.append(Token("symbol", symbol, pos))
+                pos += len(symbol)
+                break
+        else:
+            raise XPathSyntaxError(
+                f"unexpected character {char!r}", pos, expression
+            )
+    tokens.append(Token("end", "", length))
+    return tokens

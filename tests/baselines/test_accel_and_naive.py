@@ -1,0 +1,127 @@
+"""Baseline translator tests: accel windows, naive per-step splitting."""
+
+import pytest
+
+from repro import (
+    AccelEngine,
+    AccelStore,
+    Database,
+    NaiveEngine,
+    UnsupportedXPathError,
+)
+from repro.baselines.accel_translator import AccelTranslator
+
+
+@pytest.fixture()
+def accel(figure1_document):
+    store = AccelStore.create(Database.memory())
+    store.load(figure1_document)
+    return AccelEngine(store)
+
+
+class TestAccelTranslation:
+    def test_one_join_per_step(self, accel):
+        sql = accel.explain("/A/B/C/D")
+        # four accel aliases — joins proportional to path length
+        assert sql.count("accel v") == 4
+
+    def test_root_step_pins_par_null(self, accel):
+        sql = accel.explain("/A")
+        assert "par IS NULL" in sql
+
+    def test_descendant_window(self, accel):
+        sql = accel.explain("//F")
+        assert ".name = 'F'" in sql
+
+    def test_child_uses_parent_pointer(self, accel):
+        sql = accel.explain("/A/B")
+        assert ".par = v1.pre" in sql
+
+    def test_ancestor_window(self, accel):
+        sql = accel.explain("//F/ancestor::B")
+        assert ".pre < v1.pre" in sql and ".post > v1.post" in sql
+
+    def test_predicates_become_exists(self, accel):
+        sql = accel.explain("/A/B[C]")
+        assert "EXISTS" in sql
+
+    def test_attribute_condition(self, accel):
+        sql = accel.explain("//D[@x=4]")
+        assert "accel_attr" in sql
+
+    def test_text_projection(self, accel):
+        result = accel.execute("//F/text()")
+        assert result.values == ["1", "2"]
+
+    def test_attribute_projection(self, accel):
+        result = accel.execute("//D/@x")
+        assert result.values == ["4"]
+
+    def test_union(self, accel):
+        assert sorted(accel.execute("//D | //E").ids) == [4, 6]
+
+    def test_unsupported_positional(self, accel):
+        with pytest.raises(UnsupportedXPathError):
+            accel.explain("/A/B[1]")
+
+    def test_translator_is_reusable(self):
+        translator = AccelTranslator()
+        first, _ = translator.translate("/A/B")
+        second, _ = translator.translate("/A/B")
+        # alias numbering restarts per translation
+        assert "v1" in first.tables[0].alias or first.tables[0].alias == "v1"
+        assert first.tables[0].alias == second.tables[0].alias
+
+
+class TestNaiveTranslation:
+    def test_join_per_step(self, figure1_store):
+        engine = NaiveEngine(figure1_store)
+        result = engine.translate("/A/B/C/E/F")
+        # five relations, zero paths joins
+        assert result.table_count() == 5
+        assert result.path_filter_count() == 0
+
+    def test_never_touches_paths(self, figure1_store):
+        engine = NaiveEngine(figure1_store)
+        for expression in ("//F", "/A/B/C//F", "//F[parent::E]"):
+            assert engine.translate(expression).path_filter_count() == 0
+
+    def test_wildcard_splits_per_relation(self, figure1_store):
+        engine = NaiveEngine(figure1_store)
+        result = engine.translate("/A/B/*")
+        assert result.branch_count() == 2
+
+    def test_deep_wildcard_multiplies_branches(self, figure1_store):
+        engine = NaiveEngine(figure1_store)
+        # C/* resolves to {D, E}; B/*/* therefore splits into the
+        # relation sequences B-C-D, B-C-E, B-G-G.
+        result = engine.translate("/A/B/*/*")
+        assert result.branch_count() == 3
+
+    def test_ppf_collapses_what_naive_splits(self, figure1_store):
+        from repro import PPFEngine
+
+        ppf = PPFEngine(figure1_store)
+        naive = NaiveEngine(figure1_store)
+        expression = "/A/B/C/*/F"
+        assert ppf.translate(expression).branch_count() == 1
+        assert ppf.translate(expression).table_count() == 1  # just F
+        assert naive.translate(expression).table_count() == 5
+
+    def test_root_level_pinned(self, figure1_store):
+        engine = NaiveEngine(figure1_store)
+        sql = engine.translate("/A").sql
+        assert "length(A.dewey_pos) = 3" in sql
+
+    def test_flag_combinations_rejected(self, figure1_store):
+        from repro.core.adapters import SchemaAwareAdapter
+        from repro.core.translator import PPFTranslator
+        from repro.errors import TranslationError
+
+        adapter = SchemaAwareAdapter(figure1_store)
+        with pytest.raises(TranslationError):
+            PPFTranslator(adapter, split_every_step=True, use_path_index=True)
+        with pytest.raises(TranslationError):
+            PPFTranslator(
+                adapter, split_every_step=False, use_path_index=False
+            )

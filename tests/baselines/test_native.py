@@ -1,0 +1,164 @@
+"""Unit tests for the native in-memory evaluator (the oracle itself
+needs its own ground truth: hand-computed results on Figure 1)."""
+
+import pytest
+
+from repro import NativeEngine, UnsupportedXPathError, parse_document
+from repro.baselines.native import evaluate_xpath
+
+
+@pytest.fixture(scope="module")
+def engine(figure1_document):
+    return NativeEngine(figure1_document)
+
+
+def ids(engine, expression):
+    return [n.node_id for n in engine.execute(expression)]
+
+
+class TestAxes:
+    def test_child(self, engine):
+        assert ids(engine, "/A/B") == [2, 10]
+
+    def test_descendant(self, engine):
+        assert ids(engine, "/A/B/descendant::G") == [9, 11, 12]
+
+    def test_descendant_or_self(self, engine):
+        assert ids(engine, "//G/descendant-or-self::G") == [9, 11, 12]
+
+    def test_parent(self, engine):
+        assert ids(engine, "//F/parent::E") == [6]
+
+    def test_parent_abbreviation(self, engine):
+        assert ids(engine, "//F/..") == [6]
+
+    def test_ancestor(self, engine):
+        assert ids(engine, "//F/ancestor::B") == [2]
+
+    def test_ancestor_or_self(self, engine):
+        assert ids(engine, "//G/ancestor-or-self::G") == [9, 11, 12]
+
+    def test_following(self, engine):
+        assert ids(engine, "//E/following::G") == [9, 11, 12]
+
+    def test_preceding(self, engine):
+        assert ids(engine, "//G/preceding::F") == [7, 8]
+
+    def test_following_sibling(self, engine):
+        assert ids(engine, "//C/following-sibling::G") == [9]
+
+    def test_preceding_sibling(self, engine):
+        assert ids(engine, "//G/preceding-sibling::C") == [3, 5]
+
+    def test_self(self, engine):
+        assert ids(engine, "//F/self::F") == [7, 8]
+
+    def test_attribute_axis(self, engine):
+        values = [n.value for n in engine.execute("//D/@x")]
+        assert values == ["4"]
+
+    def test_wildcard(self, engine):
+        assert ids(engine, "/A/*") == [2, 10]
+
+    def test_results_in_document_order(self, engine):
+        result = ids(engine, "//G/ancestor-or-self::*")
+        assert result == sorted(result)
+
+
+class TestPredicates:
+    def test_attribute_comparison(self, engine):
+        assert ids(engine, "//D[@x=4]") == [4]
+        assert ids(engine, "//D[@x=5]") == []
+
+    def test_attribute_existence(self, engine):
+        assert ids(engine, "//*[@x]") == [1, 4]
+
+    def test_path_existence(self, engine):
+        assert ids(engine, "//C[E]") == [5]
+
+    def test_text_value_comparison(self, engine):
+        assert ids(engine, "//F[.=2]") == [8]
+
+    def test_path_value_comparison(self, engine):
+        assert ids(engine, "//E[F=1]") == [6]
+
+    def test_relational_comparison(self, engine):
+        assert ids(engine, "//F[. > 1]") == [8]
+        assert ids(engine, "//F[. <= 2]") == [7, 8]
+
+    def test_logical_operators(self, engine):
+        assert ids(engine, "//C[D or E]") == [3, 5]
+        assert ids(engine, "//C[D and E]") == []
+
+    def test_not(self, engine):
+        assert ids(engine, "//G[not(G)]") == [9, 12]
+
+    def test_positional_predicate(self, engine):
+        assert ids(engine, "/A/B[1]") == [2]
+        assert ids(engine, "/A/B[2]") == [10]
+
+    def test_position_function(self, engine):
+        assert ids(engine, "/A/B[position()=2]") == [10]
+
+    def test_last_function(self, engine):
+        assert ids(engine, "/A/B[last()]") == [10]
+        assert ids(engine, "/A/B/C[position()=last()]") == [5]
+
+    def test_positional_on_backward_axis_counts_in_reverse(self, engine):
+        # ancestors of F: nearest first => position 1 is E (id 6)
+        assert ids(engine, "//F[1]/ancestor::*[1]") == [6]
+
+    def test_count_function(self, engine):
+        assert ids(engine, "//C[count(D)=1]") == [3]
+
+    def test_contains(self, engine):
+        doc = parse_document("<a><b>hello world</b></a>")
+        assert len(evaluate_xpath(doc, "//b[contains(., 'lo wo')]")) == 1
+        assert evaluate_xpath(doc, "//b[contains(., 'xyz')]") == []
+
+    def test_starts_with(self, engine):
+        doc = parse_document("<a><b>hello</b></a>")
+        assert len(evaluate_xpath(doc, "//b[starts-with(., 'he')]")) == 1
+        assert evaluate_xpath(doc, "//b[starts-with(., 'el')]") == []
+
+    def test_predicate_chains(self, engine):
+        assert ids(engine, "//C[E][E/F]") == [5]
+
+
+class TestComparisonSemantics:
+    def test_nodeset_to_nodeset_equality(self):
+        doc = parse_document(
+            "<r><x><v>1</v><v>2</v></x><y><v>2</v></y><z><v>3</v></z></r>"
+        )
+        # x and y share the value 2; z shares none
+        assert len(evaluate_xpath(doc, "/r/x[v = /r/y/v]")) == 1
+        assert evaluate_xpath(doc, "/r/z[v = /r/y/v]") == []
+
+    def test_numeric_coercion_in_equality(self):
+        doc = parse_document("<r><v>02</v></r>")
+        assert len(evaluate_xpath(doc, "/r/v[. = 2]")) == 1
+
+    def test_string_equality_not_coerced(self):
+        doc = parse_document("<r><v>02</v></r>")
+        assert evaluate_xpath(doc, "/r/v[. = '2']") == []
+
+    def test_union_result(self, engine):
+        assert ids(engine, "//D | //E | //D") == [4, 6]
+
+    def test_text_projection(self, engine):
+        values = [n.value for n in engine.execute("//F/text()")]
+        assert values == ["1", "2"]
+
+
+class TestValueAPI:
+    def test_execute_value_count(self, engine):
+        assert engine.execute_value("count(//G)") == 3.0
+
+    def test_execute_rejects_non_nodeset(self, engine):
+        with pytest.raises(UnsupportedXPathError):
+            engine.execute("count(//G)")
+
+    def test_arithmetic_in_predicate(self, engine):
+        assert ids(engine, "//F[. = 1 + 1]") == [8]
+        assert ids(engine, "//F[. = 4 div 2]") == [8]
+        assert ids(engine, "//F[. = 5 mod 3]") == [8]

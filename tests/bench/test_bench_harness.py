@@ -1,0 +1,143 @@
+"""Tests for the bench harness: runner, report, paper tables."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    PAPER_DBLP,
+    PAPER_XMARK_LARGE,
+    PAPER_XMARK_SMALL,
+    BenchResult,
+    build_dblp_bundle,
+    build_xmark_bundle,
+    format_table,
+    shape_check,
+    time_engine,
+)
+from repro.bench.paper import paper_row
+from repro.bench.runner import ENGINE_ORDER, measure
+from repro.workloads import DBLP_QUERIES, XPATHMARK_QUERIES
+
+
+class TestPaperTables:
+    def test_every_benchmark_query_has_paper_rows(self):
+        small = {row.qid for row in PAPER_XMARK_SMALL}
+        large = {row.qid for row in PAPER_XMARK_LARGE}
+        ours = {q.qid for q in XPATHMARK_QUERIES}
+        assert small == large == ours
+
+    def test_dblp_rows_cover_queries(self):
+        assert {row.qid for row in PAPER_DBLP} == {
+            q.qid for q in DBLP_QUERIES
+        }
+
+    def test_commercial_na_pattern(self):
+        reported = {
+            row.qid for row in PAPER_XMARK_SMALL if row.commercial is not None
+        }
+        assert reported == {"Q23", "Q24", "QA"}
+
+    def test_dblp_accel_timeout_is_inf(self):
+        assert math.isinf(paper_row(PAPER_DBLP, "QD5").accel)
+
+    def test_paper_row_lookup_raises(self):
+        with pytest.raises(KeyError):
+            paper_row(PAPER_DBLP, "Q1")
+
+    def test_paper_ppf_wins_most_queries(self):
+        """Sanity on the transcription: the headline claim."""
+        wins = sum(
+            1
+            for row in PAPER_XMARK_SMALL
+            if row.ppf <= min(row.edge_ppf, row.monetdb, row.accel)
+        )
+        assert wins >= 14  # PPF leads on almost all 17
+
+
+@pytest.fixture(scope="module")
+def tiny_bundle():
+    return build_xmark_bundle(scale=0.4, seed=2)
+
+
+class TestRunner:
+    def test_bundle_engines(self, tiny_bundle):
+        assert set(tiny_bundle.engines) == set(ENGINE_ORDER)
+        assert tiny_bundle.element_count() > 100
+
+    def test_time_engine_returns_positive(self, tiny_bundle):
+        seconds, count = time_engine(
+            tiny_bundle.engines["ppf"], "/site/regions/*/item", repeats=2
+        )
+        assert seconds > 0
+        assert count > 0
+
+    def test_measure_marks_skips(self, tiny_bundle):
+        queries = XPATHMARK_QUERIES[:2]
+        results = measure(
+            tiny_bundle,
+            queries,
+            engine_names=["ppf", "commercial"],
+            repeats=1,
+            skip={"commercial": {"Q1"}},
+        )
+        by_key = {(r.qid, r.engine): r for r in results}
+        assert by_key[("Q1", "commercial")].error == "N/A"
+        assert by_key[("Q1", "ppf")].available
+
+    def test_all_engines_agree_on_counts(self, tiny_bundle):
+        results = measure(
+            tiny_bundle, XPATHMARK_QUERIES, repeats=1
+        )
+        by_qid = {}
+        for result in results:
+            assert result.available, (result.qid, result.engine, result.error)
+            by_qid.setdefault(result.qid, set()).add(result.result_count)
+        for qid, counts in by_qid.items():
+            assert len(counts) == 1, f"{qid}: inconsistent counts {counts}"
+
+    def test_dblp_bundle(self):
+        bundle = build_dblp_bundle(scale=0.4)
+        results = measure(bundle, DBLP_QUERIES, repeats=1)
+        assert all(r.available for r in results)
+
+
+class TestReport:
+    def _results(self):
+        return [
+            BenchResult("Q1", "ppf", 0.010, 5),
+            BenchResult("Q1", "edge_ppf", 0.050, 5),
+            BenchResult("Q1", "native", 0.020, 5),
+            BenchResult("Q1", "commercial", 0.0, 0, "N/A"),
+            BenchResult("Q1", "accel", 0.040, 5),
+        ]
+
+    def test_format_table_includes_paper_series(self):
+        table = format_table("t", self._results(), PAPER_XMARK_SMALL[:1])
+        assert "Q1" in table
+        assert "10.0ms" in table
+        assert "N/A" in table
+        assert "(60.0ms)" in table  # the paper's PPF time
+
+    def test_format_table_without_paper(self):
+        table = format_table("t", self._results())
+        assert "Q1" in table
+
+    def test_shape_check_passes_when_ppf_wins(self):
+        deviations = shape_check(self._results(), PAPER_XMARK_SMALL[:1])
+        assert deviations == []
+
+    def test_shape_check_flags_inversions(self):
+        results = self._results()
+        results[0] = BenchResult("Q1", "ppf", 0.500, 5)
+        deviations = shape_check(results, PAPER_XMARK_SMALL[:1])
+        assert deviations
+        assert "Q1" in deviations[0]
+
+    def test_shape_check_tolerance(self):
+        results = self._results()
+        results[0] = BenchResult("Q1", "ppf", 0.022, 5)  # 10% over native
+        assert shape_check(results, PAPER_XMARK_SMALL[:1], tolerance=0.0)
+        assert not shape_check(
+            results, PAPER_XMARK_SMALL[:1], tolerance=0.5
+        )

@@ -1,0 +1,57 @@
+"""Tests for the ASCII figure renderer."""
+
+from repro.bench.figures import bar_chart
+from repro.bench.runner import BenchResult
+
+
+def sample():
+    return [
+        BenchResult("Q1", "ppf", 0.001, 5),
+        BenchResult("Q1", "edge_ppf", 0.010, 5),
+        BenchResult("Q1", "accel", 0.100, 5),
+        BenchResult("Q2", "ppf", 0.002, 1),
+        BenchResult("Q2", "edge_ppf", 0.0, 0, "N/A"),
+        BenchResult("Q2", "accel", 0.004, 1),
+    ]
+
+
+class TestBarChart:
+    def test_groups_per_query(self):
+        chart = bar_chart("Figure", sample())
+        assert "Q1" in chart and "Q2" in chart
+
+    def test_longer_times_get_longer_bars(self):
+        chart = bar_chart("Figure", sample())
+        lines = {l.strip().split("|")[0].strip(): l for l in chart.splitlines() if "|" in l}
+        q1_lines = [l for l in chart.splitlines() if "ms" in l]
+        ppf_bar = next(l for l in q1_lines if "1.00ms" in l)
+        accel_bar = next(l for l in q1_lines if "100.00ms" in l)
+        assert accel_bar.count("#") > ppf_bar.count("#")
+
+    def test_na_rendered(self):
+        chart = bar_chart("Figure", sample())
+        assert "n/a" in chart
+
+    def test_bar_width_clamped(self):
+        results = [
+            BenchResult("Q", "ppf", 0.000001, 1),
+            BenchResult("Q", "accel", 1000.0, 1),
+        ]
+        chart = bar_chart("F", results, width=10)
+        assert max(l.count("#") for l in chart.splitlines()) <= 10
+
+    def test_engine_order_respected(self):
+        chart = bar_chart("F", sample(), engine_order=["accel", "ppf"])
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].strip().startswith("accel")
+
+    def test_empty_results(self):
+        assert "(no data)" in bar_chart("F", [])
+
+    def test_missing_engine_row(self):
+        chart = bar_chart(
+            "F",
+            [BenchResult("Q1", "ppf", 0.001, 1)],
+            engine_order=["ppf", "edge_ppf"],
+        )
+        assert "n/a" in chart

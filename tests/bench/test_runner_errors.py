@@ -1,0 +1,60 @@
+"""Runner failure handling: engines that raise are recorded, not fatal."""
+
+from repro.bench.runner import BenchResult, measure, time_engine
+from repro.workloads.xpathmark import BenchmarkQuery
+
+
+class _BoomEngine:
+    def execute(self, xpath):
+        raise RuntimeError("boom")
+
+
+class _CountingEngine:
+    def __init__(self):
+        self.calls = 0
+
+    def execute(self, xpath):
+        self.calls += 1
+        return [1, 2, 3]
+
+
+class _Bundle:
+    def __init__(self, engines):
+        self.engines = engines
+
+
+class TestMeasureErrors:
+    def test_engine_failure_recorded_as_error(self):
+        bundle = _Bundle({"bad": _BoomEngine(), "good": _CountingEngine()})
+        queries = [BenchmarkQuery("T1", "//x")]
+        results = measure(bundle, queries, repeats=1)
+        by_engine = {r.engine: r for r in results}
+        assert not by_engine["bad"].available
+        assert "boom" in by_engine["bad"].error
+        assert by_engine["good"].available
+        assert by_engine["good"].result_count == 3
+
+    def test_skip_listed_before_execution(self):
+        engine = _CountingEngine()
+        bundle = _Bundle({"only": engine})
+        queries = [BenchmarkQuery("T1", "//x"), BenchmarkQuery("T2", "//y")]
+        results = measure(
+            bundle, queries, repeats=1, skip={"only": {"T1"}}
+        )
+        by_qid = {r.qid: r for r in results}
+        assert by_qid["T1"].error == "N/A"
+        assert by_qid["T2"].available
+        # the skipped query never hit the engine (1 warmup + 1 timed run)
+        assert engine.calls == 2
+
+    def test_time_engine_warmup_toggle(self):
+        engine = _CountingEngine()
+        time_engine(engine, "//x", repeats=2, warmup=False)
+        assert engine.calls == 2
+        engine.calls = 0
+        time_engine(engine, "//x", repeats=2, warmup=True)
+        assert engine.calls == 3
+
+    def test_benchresult_available_property(self):
+        assert BenchResult("Q", "e", 0.1, 1).available
+        assert not BenchResult("Q", "e", 0.0, 0, "N/A").available

@@ -1,0 +1,126 @@
+"""Shared fixtures: the Figure 1 running example and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AccelStore,
+    Database,
+    EdgeStore,
+    NativeEngine,
+    PPFEngine,
+    EdgePPFEngine,
+    NaiveEngine,
+    AccelEngine,
+    ShreddedStore,
+    figure1_schema,
+    infer_schema,
+    parse_document,
+)
+from repro.workloads import (
+    DBLPConfig,
+    XMarkConfig,
+    generate_dblp,
+    generate_xmark,
+)
+
+#: The document of Figure 1(b): ids, paths and Dewey vectors are asserted
+#: against the paper's Figure 1(c) in the storage tests.
+FIGURE1_XML = (
+    "<A x='3'>"
+    "<B><C><D x='4'/></C><C><E><F>1</F><F>2</F></E></C><G/></B>"
+    "<B><G><G/></G></B>"
+    "</A>"
+)
+
+
+@pytest.fixture(scope="session")
+def figure1_document():
+    return parse_document(FIGURE1_XML, name="figure1")
+
+
+@pytest.fixture(scope="session")
+def figure1_store(figure1_document):
+    store = ShreddedStore.create(Database.memory(), figure1_schema())
+    store.load(figure1_document)
+    return store
+
+
+@pytest.fixture(scope="session")
+def figure1_engines(figure1_document, figure1_store):
+    edge_store = EdgeStore.create(Database.memory())
+    edge_store.load(figure1_document)
+    accel_store = AccelStore.create(Database.memory())
+    accel_store.load(figure1_document)
+    return {
+        "ppf": PPFEngine(figure1_store),
+        "ppf_no45": PPFEngine(figure1_store, path_filter_optimization=False),
+        "ppf_dewey": PPFEngine(figure1_store, prefer_fk_joins=False),
+        "edge_ppf": EdgePPFEngine(edge_store),
+        "naive": NaiveEngine(figure1_store),
+        "accel": AccelEngine(accel_store),
+    }
+
+
+@pytest.fixture(scope="session")
+def figure1_native(figure1_document):
+    return NativeEngine(figure1_document)
+
+
+@pytest.fixture(scope="session")
+def xmark_document():
+    return generate_xmark(XMarkConfig(scale=0.8, seed=11))
+
+
+@pytest.fixture(scope="session")
+def dblp_document():
+    return generate_dblp(DBLPConfig(scale=0.8, seed=11))
+
+
+def build_all_engines(document):
+    """Shred ``document`` into every store and return named engines."""
+    schema = infer_schema([document])
+    store = ShreddedStore.create(Database.memory(), schema)
+    store.load(document)
+    edge_store = EdgeStore.create(Database.memory())
+    edge_store.load(document)
+    accel_store = AccelStore.create(Database.memory())
+    accel_store.load(document)
+    return {
+        "ppf": PPFEngine(store),
+        "ppf_no45": PPFEngine(store, path_filter_optimization=False),
+        "edge_ppf": EdgePPFEngine(edge_store),
+        "naive": NaiveEngine(store),
+        "accel": AccelEngine(accel_store),
+    }
+
+
+@pytest.fixture(scope="session")
+def xmark_engines(xmark_document):
+    return build_all_engines(xmark_document)
+
+
+@pytest.fixture(scope="session")
+def xmark_native(xmark_document):
+    return NativeEngine(xmark_document)
+
+
+@pytest.fixture(scope="session")
+def dblp_engines(dblp_document):
+    return build_all_engines(dblp_document)
+
+
+@pytest.fixture(scope="session")
+def dblp_native(dblp_document):
+    return NativeEngine(dblp_document)
+
+
+def oracle_ids(native: NativeEngine, xpath: str) -> list[int]:
+    """Sorted node ids the native oracle returns for ``xpath``."""
+    return sorted(node.node_id for node in native.execute(xpath))
+
+
+def engine_ids(engine, xpath: str) -> list[int]:
+    """Sorted node ids a SQL engine returns for ``xpath``."""
+    return sorted(engine.execute(xpath).ids)

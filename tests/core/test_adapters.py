@@ -1,0 +1,144 @@
+"""Unit tests for the mapping adapters (schema-aware vs Edge)."""
+
+import pytest
+
+from repro import Database, EdgeStore, ShreddedStore, figure1_schema
+from repro.core.adapters import (
+    Candidate,
+    EdgeAdapter,
+    SchemaAwareAdapter,
+    combine_names,
+)
+from repro.core.pathregex import PatternStep
+
+
+@pytest.fixture(scope="module")
+def schema_adapter():
+    store = ShreddedStore.create(Database.memory(), figure1_schema())
+    return SchemaAwareAdapter(store)
+
+
+@pytest.fixture(scope="module")
+def edge_adapter():
+    return EdgeAdapter(EdgeStore.create(Database.memory()))
+
+
+class TestSchemaAwareAdapter:
+    def test_forward_names_from_root(self, schema_adapter):
+        pattern = [PatternStep("child", "A"), PatternStep("child", "B")]
+        assert schema_adapter.forward_names(pattern, None, True) == {"B"}
+
+    def test_forward_names_from_context(self, schema_adapter):
+        pattern = [PatternStep("child", None)]
+        assert schema_adapter.forward_names(
+            pattern, frozenset({"B"}), False
+        ) == {"C", "G"}
+
+    def test_candidates_one_relation_per_name(self, schema_adapter):
+        candidates = schema_adapter.candidates(frozenset({"C", "G"}), None)
+        assert sorted(c.table for c in candidates) == ["C", "G"]
+        assert all(c.name_filter is None for c in candidates)
+
+    def test_path_filter_unique_path_none(self, schema_adapter):
+        pattern = [
+            PatternStep("child", "A"),
+            PatternStep("child", "B"),
+            PatternStep("child", "C"),
+            PatternStep("child", "D"),
+        ]
+        decision = schema_adapter.path_filter(
+            Candidate("D", frozenset({"D"})), pattern, True
+        )
+        assert decision.kind == "none"
+
+    def test_path_filter_recursive_always(self, schema_adapter):
+        pattern = [PatternStep("desc", "G")]
+        decision = schema_adapter.path_filter(
+            Candidate("G", frozenset({"G"})), pattern, True
+        )
+        assert decision.kind == "regex"
+
+    def test_path_filter_impossible_empty(self, schema_adapter):
+        pattern = [PatternStep("child", "A"), PatternStep("child", "F")]
+        decision = schema_adapter.path_filter(
+            Candidate("F", frozenset({"F"})), pattern, True
+        )
+        assert decision.kind == "empty"
+
+    def test_path_filter_equality_payload(self, schema_adapter):
+        literal = SchemaAwareAdapter(
+            schema_adapter.store, path_filter_optimization=False
+        )
+        pattern = [PatternStep("child", "A"), PatternStep("child", "B")]
+        decision = literal.path_filter(
+            Candidate("B", frozenset({"B"})), pattern, True
+        )
+        assert decision.kind == "equality"
+        assert decision.payload == "/A/B"
+
+    def test_text_expr_only_with_column(self, schema_adapter):
+        f = Candidate("F", frozenset({"F"}))
+        b = Candidate("B", frozenset({"B"}))
+        assert schema_adapter.text_expr(f, "F", False) == "F.text"
+        assert schema_adapter.text_expr(b, "B", False) is None
+
+    def test_attr_expr(self, schema_adapter):
+        d = Candidate("D", frozenset({"D"}))
+        assert schema_adapter.attr_expr(d, "D", "x", True) == "D.attr_x"
+        assert schema_adapter.attr_expr(d, "D", "nope", True) is None
+
+    def test_attr_condition_missing_is_false(self, schema_adapter):
+        d = Candidate("D", frozenset({"D"}))
+        condition = schema_adapter.attr_condition(
+            d, "D", "nope", "=", "'x'", False, lambda t: t
+        )
+        assert condition.sql == "1=0"
+
+
+class TestEdgeAdapter:
+    def test_names_are_open(self, edge_adapter):
+        assert edge_adapter.forward_names([], None, True) is None
+        assert edge_adapter.backward_names([], None) is None
+
+    def test_single_candidate_with_name_filter(self, edge_adapter):
+        (candidate,) = edge_adapter.candidates(None, "item")
+        assert candidate.table == "edge"
+        assert candidate.name_filter == ("item",)
+        assert candidate.name_column == "name"
+
+    def test_wildcard_candidate_unfiltered(self, edge_adapter):
+        (candidate,) = edge_adapter.candidates(None, None)
+        assert candidate.name_filter is None
+
+    def test_path_filter_always_fires(self, edge_adapter):
+        pattern = [PatternStep("child", "A")]
+        decision = edge_adapter.path_filter(
+            Candidate("edge", None), pattern, True
+        )
+        assert decision.kind == "equality"
+        fuzzy = edge_adapter.path_filter(
+            Candidate("edge", None), [PatternStep("desc", "A")], True
+        )
+        assert fuzzy.kind == "regex"
+
+    def test_text_expr_casts_for_numbers(self, edge_adapter):
+        candidate = Candidate("edge", None)
+        assert "CAST" in edge_adapter.text_expr(candidate, "e", True)
+        assert edge_adapter.text_expr(candidate, "e", False) == "e.text"
+
+    def test_attr_expr_is_scalar_subquery(self, edge_adapter):
+        candidate = Candidate("edge", None)
+        expr = edge_adapter.attr_expr(candidate, "e", "id", False)
+        assert expr.startswith("(SELECT value FROM attrs")
+
+
+class TestHelpers:
+    def test_combine_names(self):
+        a = Candidate("x", frozenset({"a"}))
+        b = Candidate("y", frozenset({"b", "c"}))
+        assert combine_names([a, b]) == frozenset({"a", "b", "c"})
+
+    def test_combine_names_open(self):
+        a = Candidate("x", frozenset({"a"}))
+        open_candidate = Candidate("edge", None)
+        assert combine_names([a, open_candidate]) is None

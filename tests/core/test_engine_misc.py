@@ -1,0 +1,168 @@
+"""Engine-level behaviours: projections, multi-document stores, explain,
+result objects, empty results."""
+
+import pytest
+
+from repro import (
+    Database,
+    EdgePPFEngine,
+    EdgeStore,
+    PPFEngine,
+    ShreddedStore,
+    figure1_schema,
+    infer_schema,
+    parse_document,
+)
+
+
+class TestProjections:
+    def test_text_projection(self, figure1_engines):
+        result = figure1_engines["ppf"].execute("//F/text()")
+        assert result.projection == "text"
+        assert result.values == ["1", "2"]
+
+    def test_text_projection_edge(self, figure1_engines):
+        result = figure1_engines["edge_ppf"].execute("//F/text()")
+        assert result.values == ["1", "2"]
+
+    def test_attribute_projection(self, figure1_engines):
+        result = figure1_engines["ppf"].execute("//D/@x")
+        assert result.projection == "attribute"
+        assert result.values == ["4"]
+
+    def test_attribute_projection_missing_attr_is_empty(
+        self, figure1_engines
+    ):
+        result = figure1_engines["ppf"].execute("//F/@x")
+        assert result.values == []
+
+    def test_elements_without_text_excluded_from_text_projection(
+        self, figure1_engines
+    ):
+        result = figure1_engines["ppf"].execute("//B/text()")
+        assert result.values == []
+
+
+class TestQueryResult:
+    def test_iteration_and_len(self, figure1_engines):
+        result = figure1_engines["ppf"].execute("//F")
+        assert len(result) == 2
+        rows = list(result)
+        assert rows[0].id < rows[1].id
+        assert all(isinstance(r.dewey_pos, bytes) for r in rows)
+
+    def test_explain_returns_sql(self, figure1_engines):
+        sql = figure1_engines["ppf"].explain("//F")
+        assert sql.startswith("SELECT DISTINCT")
+
+    def test_empty_result(self, figure1_engines):
+        result = figure1_engines["ppf"].execute("//F[.=99]")
+        assert len(result) == 0
+        assert result.ids == []
+
+    def test_statically_empty_result(self, figure1_engines):
+        result = figure1_engines["ppf"].execute("/A/F")
+        assert len(result) == 0
+
+
+class TestMultiDocument:
+    def test_queries_span_documents(self):
+        schema = figure1_schema()
+        store = ShreddedStore.create(Database.memory(), schema)
+        doc1 = parse_document("<A><B><C><D/></C></B></A>", name="one")
+        doc2 = parse_document("<A><B><C><D/><D/></C></B></A>", name="two")
+        store.load(doc1)
+        store.load(doc2)
+        engine = PPFEngine(store)
+        result = engine.execute("//D")
+        assert len(result) == 3
+        assert {row.doc_id for row in result} == {1, 2}
+
+    def test_dewey_joins_do_not_cross_documents(self):
+        store = EdgeStore.create(Database.memory())
+        store.load(parse_document("<A><B><C/></B></A>", name="one"))
+        store.load(parse_document("<A><X><C/></X></A>", name="two"))
+        engine = EdgePPFEngine(store)
+        result = engine.execute("//B//C")
+        assert len(result) == 1
+        assert result.rows[0].doc_id == 1
+
+    def test_absolute_predicate_path_scoped_per_document(self):
+        # doc one: book author matches; doc two: no book at all.
+        xml1 = (
+            "<dblp><inproceedings><author>X</author></inproceedings>"
+            "<book><author>X</author></book></dblp>"
+        )
+        xml2 = "<dblp><inproceedings><author>X</author></inproceedings></dblp>"
+        doc1 = parse_document(xml1, name="one")
+        doc2 = parse_document(xml2, name="two")
+        schema = infer_schema([doc1, doc2])
+        store = ShreddedStore.create(Database.memory(), schema)
+        store.load(doc1)
+        store.load(doc2)
+        engine = PPFEngine(store)
+        result = engine.execute(
+            "/dblp/inproceedings[author=/dblp/book/author]"
+        )
+        assert len(result) == 1
+        assert result.rows[0].doc_id == 1
+
+    def test_global_ids_map_back_to_documents(self):
+        schema = figure1_schema()
+        store = ShreddedStore.create(Database.memory(), schema)
+        doc1 = parse_document("<A><B/></A>", name="one")
+        doc2 = parse_document("<A><B/><B/></A>", name="two")
+        id1 = store.load(doc1)
+        id2 = store.load(doc2)
+        engine = PPFEngine(store)
+        for row in engine.execute("//B"):
+            doc_id, node_id = store.to_document_node_id(row.id)
+            assert doc_id == row.doc_id
+            assert node_id >= 2  # B nodes come after the root
+
+
+class TestTranslationCache:
+    def test_repeated_queries_reuse_translation(self, figure1_store):
+        engine = PPFEngine(figure1_store)
+        first = engine.translate("//F")
+        second = engine.translate("//F")
+        assert first is second
+
+    def test_ast_inputs_bypass_cache(self, figure1_store):
+        from repro import parse_xpath
+
+        engine = PPFEngine(figure1_store)
+        ast = parse_xpath("//F")
+        assert engine.translate(ast) is not engine.translate(ast)
+
+    def test_cache_bounded(self, figure1_store):
+        engine = PPFEngine(figure1_store)
+        engine._CACHE_LIMIT = 4
+        for index in range(10):
+            engine.translate(f"//F[.={index}]")
+        assert len(engine._translation_cache) <= 4 + 1
+
+    def test_results_stay_correct_after_cached_reuse(self, figure1_store):
+        engine = PPFEngine(figure1_store)
+        assert engine.execute("//F").ids == engine.execute("//F").ids
+
+
+class TestSharedComplexTypes:
+    def test_shared_relation_with_elname_filter(self):
+        from repro.schema.model import Schema
+
+        schema = Schema(roots=["r"])
+        schema.add_edge("r", "a")
+        schema.add_edge("r", "b")
+        schema.declare("a", type_name="T")
+        schema.declare("b", type_name="T")
+        schema["a"].text_kind = "string"
+        schema["b"].text_kind = "string"
+        store = ShreddedStore.create(Database.memory(), schema)
+        store.load(parse_document("<r><a>1</a><b>2</b><a>3</a></r>"))
+        engine = PPFEngine(store)
+        assert len(engine.execute("/r/a")) == 2
+        assert len(engine.execute("/r/b")) == 1
+        assert len(engine.execute("/r/*")) == 3
+        sql = engine.explain("/r/a")
+        assert "elname = 'a'" in sql

@@ -1,0 +1,201 @@
+"""Tests for SQL-translation extensions beyond the paper's examples:
+count() comparisons, string functions, and projection/union edge cases —
+each verified against the native oracle across engines."""
+
+import pytest
+
+from repro import (
+    Database,
+    EdgePPFEngine,
+    EdgeStore,
+    NativeEngine,
+    PPFEngine,
+    ShreddedStore,
+    figure1_schema,
+    infer_schema,
+    parse_document,
+)
+
+XML = (
+    "<lib>"
+    "<shelf code='s1'><book year='1999'><title>Data on the Web</title>"
+    "<author>Abiteboul</author><author>Buneman</author></book>"
+    "<book year='2004'><title>XML handling</title>"
+    "<author>Suciu</author></book></shelf>"
+    "<shelf code='s2'><book year='1994'><title>Foundations</title>"
+    "<author>Abiteboul</author></book></shelf>"
+    "</lib>"
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    doc = parse_document(XML)
+    schema = infer_schema([doc])
+    store = ShreddedStore.create(Database.memory(), schema)
+    store.load(doc)
+    edge = EdgeStore.create(Database.memory())
+    edge.load(doc)
+    return {
+        "native": NativeEngine(doc),
+        "engines": {
+            "ppf": PPFEngine(store),
+            "edge": EdgePPFEngine(edge),
+        },
+    }
+
+
+def assert_agrees(setup, expression):
+    expected = sorted(n.node_id for n in setup["native"].execute(expression))
+    for name, engine in setup["engines"].items():
+        got = sorted(engine.execute(expression).ids)
+        assert got == expected, (name, expression, got, expected)
+    return expected
+
+
+class TestCountComparisons:
+    def test_count_equals(self, setup):
+        assert assert_agrees(setup, "//book[count(author)=2]")
+
+    def test_count_greater(self, setup):
+        assert assert_agrees(setup, "//shelf[count(book)>1]")
+
+    def test_count_zero(self, setup):
+        assert_agrees(setup, "//book[count(chapter)=0]")
+
+    def test_count_flipped(self, setup):
+        assert assert_agrees(setup, "//book[2 = count(author)]")
+
+    def test_count_wildcard(self, setup):
+        assert assert_agrees(setup, "//book[count(*)=3]")
+
+    def test_count_descendant_path(self, setup):
+        assert assert_agrees(setup, "//shelf[count(.//author)>=2]")
+
+    def test_count_absolute_path(self, setup):
+        assert assert_agrees(setup, "//shelf[count(//book)=3]")
+
+    def test_count_both_sides_unsupported(self, setup):
+        from repro.errors import UnsupportedXPathError
+
+        with pytest.raises(UnsupportedXPathError):
+            setup["engines"]["ppf"].translate(
+                "//shelf[count(book)=count(author)]"
+            )
+
+    def test_count_vs_string_unsupported(self, setup):
+        from repro.errors import UnsupportedXPathError
+
+        with pytest.raises(UnsupportedXPathError):
+            setup["engines"]["ppf"].translate("//shelf[count(book)='x']")
+
+
+class TestStringFunctions:
+    def test_contains_on_text_path(self, setup):
+        assert assert_agrees(setup, "//book[contains(title, 'Web')]")
+
+    def test_contains_no_match(self, setup):
+        assert_agrees(setup, "//book[contains(title, 'zzz')]")
+
+    def test_starts_with(self, setup):
+        assert assert_agrees(setup, "//book[starts-with(title, 'XML')]")
+
+    def test_contains_on_attribute(self, setup):
+        assert assert_agrees(setup, "//shelf[contains(@code, '2')]")
+
+    def test_like_wildcards_are_escaped(self, setup):
+        # '%' in the needle must not act as a LIKE wildcard.
+        doc = parse_document("<r><v>100%</v><v>100x</v></r>")
+        schema = infer_schema([doc])
+        store = ShreddedStore.create(Database.memory(), schema)
+        store.load(doc)
+        engine = PPFEngine(store)
+        native = NativeEngine(doc)
+        expression = "//v[contains(., '0%')]"
+        expected = sorted(n.node_id for n in native.execute(expression))
+        assert sorted(engine.execute(expression).ids) == expected
+        assert len(expected) == 1
+
+
+class TestProjectionTailsInPredicates:
+    """Regression: [path/@attr] must require the attribute to exist, and
+    [path/text()] a non-empty text (found by deep fuzzing)."""
+
+    @pytest.fixture(scope="class")
+    def sparse(self):
+        doc = parse_document(
+            "<lib><book><author id='a1'>Smith</author></book>"
+            "<book><author>NoId</author></book>"
+            "<book><author/></book></lib>"
+        )
+        schema = infer_schema([doc])
+        store = ShreddedStore.create(Database.memory(), schema)
+        store.load(doc)
+        edge = EdgeStore.create(Database.memory())
+        edge.load(doc)
+        return {
+            "native": NativeEngine(doc),
+            "engines": {
+                "ppf": PPFEngine(store),
+                "edge": EdgePPFEngine(edge),
+            },
+        }
+
+    def test_attribute_tail_existence(self, sparse):
+        assert assert_agrees(sparse, "//book[author/@id]") == [2]
+
+    def test_text_tail_existence(self, sparse):
+        assert assert_agrees(sparse, "//book[author/text()]") == [2, 4]
+
+    def test_count_of_attribute_tail(self, sparse):
+        assert assert_agrees(sparse, "//book[count(author/@id)=1]") == [2]
+
+    def test_count_of_attributes_document_wide(self, sparse):
+        assert assert_agrees(sparse, "//lib[count(.//author/@id)=1]")
+
+
+class TestUnionValueComparisons:
+    def test_union_path_compared_to_literal(self, setup):
+        assert assert_agrees(
+            setup, "//book[(title | author) = 'Suciu']"
+        )
+
+    def test_union_precedence_binds_tighter_than_equality(self, setup):
+        # a | b = 'x' parses as a | (b = 'x') per XPath precedence; with
+        # parentheses both branches are compared.
+        from repro import parse_xpath
+        from repro.xpath.ast import Comparison, UnionExpr
+
+        ast = parse_xpath("//book[(title | author) = 'x']")
+        predicate = ast.path.steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert isinstance(predicate.left, UnionExpr)
+
+
+class TestMixedPredicates:
+    def test_positional_with_count(self, setup):
+        assert assert_agrees(setup, "//shelf/book[1][count(author)=2]")
+
+    def test_logic_over_counts(self, setup):
+        assert assert_agrees(
+            setup, "//book[count(author)=1 or count(author)=2]"
+        )
+
+    def test_not_count(self, setup):
+        assert assert_agrees(setup, "//book[not(count(author)=1)]")
+
+    def test_union_predicate(self, setup):
+        assert assert_agrees(setup, "//book[title | author]")
+
+    def test_attribute_relational(self, setup):
+        assert assert_agrees(setup, "//book[@year >= 1999]")
+
+    def test_figure1_count_on_recursive(self):
+        doc = parse_document("<A><B><G><G/></G><G/></B></A>")
+        store = ShreddedStore.create(Database.memory(), figure1_schema())
+        store.load(doc)
+        engine = PPFEngine(store)
+        native = NativeEngine(doc)
+        expression = "//G[count(G)=1]"
+        expected = sorted(n.node_id for n in native.execute(expression))
+        assert sorted(engine.execute(expression).ids) == expected

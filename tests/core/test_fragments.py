@@ -1,0 +1,167 @@
+"""PPF identification tests (paper Section 4.1, Definition)."""
+
+import pytest
+
+from repro import parse_xpath
+from repro.core.fragments import PPFKind, split_backbone
+from repro.errors import TranslationError, UnsupportedXPathError
+from repro.xpath.axes import Axis
+
+
+def split(expression, context_anchored=False):
+    return split_backbone(parse_xpath(expression).path, context_anchored)
+
+
+def shapes(result):
+    return [(p.kind, len(p.steps), p.anchored) for p in result.ppfs]
+
+
+class TestForwardSplitting:
+    def test_single_forward_fragment(self):
+        result = split("/A/B/C//F")
+        assert shapes(result) == [(PPFKind.FORWARD, 4, True)]
+
+    def test_predicate_on_last_step_does_not_split(self):
+        result = split("/A/B[@x=4]")
+        assert shapes(result) == [(PPFKind.FORWARD, 2, True)]
+
+    def test_intermediate_predicate_splits(self):
+        result = split("/A[@x=3]/B/C//F")
+        assert shapes(result) == [
+            (PPFKind.FORWARD, 1, True),
+            (PPFKind.FORWARD, 3, True),
+        ]
+
+    def test_chain_stays_anchored_across_predicates(self):
+        result = split("/A[@x]/B[@y]/C")
+        assert [p.anchored for p in result.ppfs] == [True, True, True]
+
+    def test_relative_path_unanchored(self):
+        result = split("a/b")
+        assert shapes(result) == [(PPFKind.FORWARD, 2, False)]
+
+    def test_relative_with_context_anchor(self):
+        result = split("a/b", context_anchored=True)
+        assert shapes(result) == [(PPFKind.FORWARD, 2, True)]
+
+
+class TestBackwardAndOrder:
+    def test_backward_fragment(self):
+        result = split("//F/parent::D/ancestor::B")
+        assert shapes(result) == [
+            (PPFKind.FORWARD, 1, True),
+            (PPFKind.BACKWARD, 2, False),
+        ]
+
+    def test_order_axes_are_single_step(self):
+        result = split("//C/following-sibling::G/following::F")
+        assert [p.kind for p in result.ppfs] == [
+            PPFKind.FORWARD,
+            PPFKind.ORDER,
+            PPFKind.ORDER,
+        ]
+        assert all(p.is_single_step() for p in result.ppfs[1:])
+
+    def test_forward_after_order_is_unanchored(self):
+        result = split("//a/following::b/c/d")
+        assert shapes(result)[-1] == (PPFKind.FORWARD, 2, False)
+
+    def test_direction_change_splits(self):
+        result = split("//a/b/parent::c/d")
+        assert [p.kind for p in result.ppfs] == [
+            PPFKind.FORWARD,
+            PPFKind.BACKWARD,
+            PPFKind.FORWARD,
+        ]
+
+
+class TestCorrectnessSplits:
+    def test_unanchored_internal_descendant_splits(self):
+        # after an order axis the chain loses its anchor; c//d cannot be
+        # one fragment there.
+        result = split("//a/following::b/c//d")
+        assert [(p.kind, len(p.steps)) for p in result.ppfs] == [
+            (PPFKind.FORWARD, 1),
+            (PPFKind.ORDER, 1),
+            (PPFKind.FORWARD, 1),
+            (PPFKind.FORWARD, 1),
+        ]
+
+    def test_anchored_internal_descendant_does_not_split(self):
+        result = split("/a[@x]/c//d")
+        assert shapes(result)[-1] == (PPFKind.FORWARD, 2, True)
+
+    def test_unanchored_leading_descendant_allowed(self):
+        result = split("//a/following::b//d/e")
+        assert [(p.kind, len(p.steps)) for p in result.ppfs][-1] == (
+            PPFKind.FORWARD,
+            2,
+        )
+
+    def test_backward_ancestor_then_parent_splits(self):
+        result = split("//x/ancestor::g/parent::p")
+        assert [(p.kind, len(p.steps)) for p in result.ppfs] == [
+            (PPFKind.FORWARD, 1),
+            (PPFKind.BACKWARD, 1),
+            (PPFKind.BACKWARD, 1),
+        ]
+
+    def test_backward_parents_then_ancestor_stays_together(self):
+        result = split("//i/parent::x/parent::sub/ancestor::article")
+        assert [(p.kind, len(p.steps)) for p in result.ppfs] == [
+            (PPFKind.FORWARD, 1),
+            (PPFKind.BACKWARD, 3),
+        ]
+
+
+class TestProjections:
+    def test_text_tail(self):
+        result = split("/a/b/text()")
+        assert result.text_projection
+        assert shapes(result) == [(PPFKind.FORWARD, 2, True)]
+
+    def test_attribute_tail(self):
+        result = split("/a/b/@id")
+        assert result.attribute_projection == "id"
+
+    def test_attribute_tail_with_predicate(self):
+        result = split("/a/@id[. = 'x']")
+        assert result.attribute_projection == "id"
+        assert len(result.attribute_predicates) == 1
+
+    def test_text_mid_path_rejected(self):
+        with pytest.raises(UnsupportedXPathError):
+            split("/a/text()/b")
+
+    def test_attribute_mid_path_rejected(self):
+        with pytest.raises(UnsupportedXPathError):
+            split("/a/@id/b")
+
+    def test_projection_only_rejected(self):
+        with pytest.raises(TranslationError):
+            split("/text()")
+
+    def test_bare_root_rejected(self):
+        with pytest.raises(TranslationError):
+            split("/")
+
+
+class TestLevelOffset:
+    @pytest.mark.parametrize(
+        "expression, index, expected",
+        [
+            ("/a/b/c", 0, (3, True)),
+            ("//a", 0, (1, False)),
+            ("/a//b", 0, (2, False)),
+            ("//x/parent::a", 1, (1, True)),
+            ("//x/ancestor::a", 1, (1, False)),
+            ("//x/ancestor-or-self::a", 1, (0, False)),
+        ],
+    )
+    def test_offsets(self, expression, index, expected):
+        result = split(expression)
+        assert result.ppfs[index].level_offset() == expected
+
+    def test_str_rendering(self):
+        result = split("//F/parent::D")
+        assert "parent::D" in str(result.ppfs[1])

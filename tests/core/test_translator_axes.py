@@ -1,0 +1,46 @@
+"""Per-axis correctness of every SQL engine against the native oracle,
+on the Figure 1 document (which exercises recursion, repeated names and
+multi-child fan-out)."""
+
+import pytest
+
+from conftest import engine_ids, oracle_ids
+
+#: context paths to hang each axis off.
+_CONTEXTS = ["//C", "//F", "//G", "/A/B", "//E"]
+
+#: axis step templates.
+_AXES = [
+    "child::*",
+    "child::G",
+    "descendant::*",
+    "descendant::F",
+    "descendant-or-self::G",
+    "self::*",
+    "parent::*",
+    "parent::B",
+    "ancestor::*",
+    "ancestor::B",
+    "ancestor-or-self::*",
+    "following::*",
+    "following::F",
+    "preceding::*",
+    "preceding::C",
+    "following-sibling::*",
+    "following-sibling::C",
+    "preceding-sibling::*",
+    "preceding-sibling::F",
+]
+
+_ENGINE_NAMES = ["ppf", "ppf_no45", "ppf_dewey", "edge_ppf", "naive", "accel"]
+
+
+@pytest.mark.parametrize("context", _CONTEXTS)
+@pytest.mark.parametrize("axis", _AXES)
+@pytest.mark.parametrize("engine_name", _ENGINE_NAMES)
+def test_axis_agrees_with_oracle(
+    context, axis, engine_name, figure1_engines, figure1_native
+):
+    expression = f"{context}/{axis}"
+    expected = oracle_ids(figure1_native, expression)
+    assert engine_ids(figure1_engines[engine_name], expression) == expected

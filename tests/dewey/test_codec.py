@@ -1,0 +1,119 @@
+"""Unit and property tests for the binary Dewey codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dewey import (
+    COMPONENT_BYTES,
+    MAX_ORDINAL,
+    decode,
+    descendant_upper_bound,
+    encode,
+    level_of,
+    parent_of,
+)
+from repro.errors import DeweyError
+
+vectors = st.lists(
+    st.integers(min_value=0, max_value=MAX_ORDINAL), min_size=1, max_size=8
+).map(tuple)
+
+
+class TestEncode:
+    def test_single_component(self):
+        assert encode((1,)) == b"\x00\x00\x01"
+
+    def test_figure1_example(self):
+        # node 1.2.1 of Figure 1(c)
+        assert encode((1, 2, 1)) == b"\x00\x00\x01\x00\x00\x02\x00\x00\x01"
+
+    def test_max_ordinal(self):
+        assert encode((MAX_ORDINAL,)) == b"\x7f\xff\xff"
+
+    def test_zero_allowed(self):
+        assert decode(encode((0,))) == (0,)
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(DeweyError):
+            encode(())
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DeweyError):
+            encode((MAX_ORDINAL + 1,))
+        with pytest.raises(DeweyError):
+            encode((-1,))
+
+
+class TestDecode:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DeweyError):
+            decode(b"\x00\x00")
+        with pytest.raises(DeweyError):
+            decode(b"")
+
+    def test_rejects_high_bit(self):
+        with pytest.raises(DeweyError):
+            decode(b"\x80\x00\x00")
+
+    @given(vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, vector):
+        assert decode(encode(vector)) == vector
+
+
+class TestHelpers:
+    def test_level(self):
+        assert level_of(encode((1,))) == 1
+        assert level_of(encode((1, 2, 3))) == 3
+
+    def test_level_rejects_garbage(self):
+        with pytest.raises(DeweyError):
+            level_of(b"\x00")
+
+    def test_parent(self):
+        assert parent_of(encode((1, 2, 3))) == encode((1, 2))
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(DeweyError):
+            parent_of(encode((1,)))
+
+    def test_upper_bound_is_suffix(self):
+        e = encode((1, 5))
+        assert descendant_upper_bound(e) == e + b"\xff"
+
+    @given(vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_length_tracks_level(self, vector):
+        assert len(encode(vector)) == COMPONENT_BYTES * len(vector)
+
+
+class TestOrderPreservation:
+    """Lexicographic byte order must equal document (preorder) order of
+    the Dewey vectors — the property every Table 2 condition relies on."""
+
+    @given(vectors, vectors)
+    @settings(max_examples=300, deadline=None)
+    def test_byte_order_equals_vector_order(self, a, b):
+        # Tuple comparison on ordinal vectors IS preorder document order
+        # for nodes of one tree (prefixes sort before extensions).
+        assert (encode(a) < encode(b)) == (a < b)
+        assert (encode(a) == encode(b)) == (a == b)
+
+    @given(vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_descendants_fall_inside_upper_bound(self, vector):
+        child = vector + (1,)
+        deep = vector + (MAX_ORDINAL, MAX_ORDINAL)
+        upper = descendant_upper_bound(encode(vector))
+        assert encode(vector) < encode(child) < upper
+        assert encode(vector) < encode(deep) < upper
+
+    @given(vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_following_siblings_fall_outside_upper_bound(self, vector):
+        *prefix, last = vector
+        if last >= MAX_ORDINAL:
+            last = MAX_ORDINAL - 1
+        sibling = tuple(prefix) + (last + 1,)
+        upper = descendant_upper_bound(encode(tuple(prefix) + (last,)))
+        assert encode(sibling) > upper

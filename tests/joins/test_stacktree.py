@@ -1,0 +1,110 @@
+"""Stack-Tree structural join tests (unit + property vs brute force)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DeweyError, parse_document
+from repro.dewey import encode
+from repro.joins import JoinNode, document_stream, stack_tree_join
+from repro.joins.stacktree import stack_tree_semijoin
+
+
+def nodes(*vectors):
+    return [JoinNode(i + 1, encode(v)) for i, v in enumerate(vectors)]
+
+
+def brute_force(a_list, d_list, self_allowed=False):
+    pairs = []
+    for d in d_list:
+        for a in a_list:
+            if a.is_ancestor_of(d) or (self_allowed and a.dewey == d.dewey):
+                pairs.append((a, d))
+    return pairs
+
+
+class TestStackTree:
+    def test_basic_nesting(self):
+        a_list = nodes((1,), (1, 2))
+        d_list = nodes((1, 1), (1, 2, 1), (2,))
+        result = list(stack_tree_join(a_list, d_list))
+        assert [(a.dewey, d.dewey) for a, d in result] == [
+            (encode((1,)), encode((1, 1))),
+            (encode((1,)), encode((1, 2, 1))),
+            (encode((1, 2)), encode((1, 2, 1))),
+        ]
+
+    def test_no_matches(self):
+        assert list(stack_tree_join(nodes((2,)), nodes((1, 1)))) == []
+
+    def test_self_not_matched_by_default(self):
+        same = nodes((1, 1))
+        assert list(stack_tree_join(same, same)) == []
+
+    def test_self_allowed(self):
+        same = nodes((1, 1))
+        result = list(stack_tree_join(same, same, self_allowed=True))
+        assert len(result) == 1
+
+    def test_equal_position_still_open_for_later_descendants(self):
+        a_list = nodes((1, 1))
+        d_list = nodes((1, 1), (1, 1, 5))
+        result = list(stack_tree_join(a_list, d_list))
+        assert [(a.dewey, d.dewey) for a, d in result] == [
+            (encode((1, 1)), encode((1, 1, 5)))
+        ]
+
+    def test_unsorted_input_rejected(self):
+        bad = [JoinNode(2, encode((1, 2))), JoinNode(1, encode((1, 1)))]
+        with pytest.raises(DeweyError):
+            list(stack_tree_join(bad, nodes((1, 1, 1))))
+
+    def test_document_stream_matches_xpath(self, figure1_document):
+        from repro.baselines.native import NativeEngine
+
+        native = NativeEngine(figure1_document)
+        b_stream = document_stream(figure1_document, "B")
+        g_stream = document_stream(figure1_document, "G")
+        pairs = list(stack_tree_join(b_stream, g_stream))
+        got = sorted({d.node_id for _, d in pairs})
+        expected = sorted(
+            n.node_id for n in native.execute("//B//G")
+        )
+        assert got == expected
+
+    def test_semijoin_distinct_ancestors(self, figure1_document):
+        from repro.baselines.native import NativeEngine
+
+        native = NativeEngine(figure1_document)
+        b_stream = document_stream(figure1_document, "B")
+        g_stream = document_stream(figure1_document, "G")
+        ancestors = stack_tree_semijoin(b_stream, g_stream)
+        expected = sorted(n.node_id for n in native.execute("//B[.//G]"))
+        assert sorted(a.node_id for a in ancestors) == expected
+
+
+_vectors = st.lists(
+    st.lists(st.integers(1, 3), min_size=1, max_size=4).map(tuple),
+    min_size=0,
+    max_size=12,
+    unique=True,
+)
+
+
+@given(_vectors, _vectors, st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_agrees_with_brute_force(a_vectors, d_vectors, self_allowed):
+    a_list = [
+        JoinNode(i, encode(v)) for i, v in enumerate(sorted(a_vectors))
+    ]
+    d_list = [
+        JoinNode(i, encode(v)) for i, v in enumerate(sorted(d_vectors))
+    ]
+    got = sorted(
+        ((a.dewey, d.dewey) for a, d in
+         stack_tree_join(a_list, d_list, self_allowed))
+    )
+    expected = sorted(
+        ((a.dewey, d.dewey) for a, d in
+         brute_force(a_list, d_list, self_allowed))
+    )
+    assert got == expected

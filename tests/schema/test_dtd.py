@@ -1,0 +1,108 @@
+"""DTD parser tests."""
+
+import pytest
+
+from repro import SchemaError, parse_document, parse_dtd
+from repro.schema.marking import PathClass, SchemaMarking
+
+FIGURE1_DTD = """
+<!-- the running example of Figure 1(a) -->
+<!ELEMENT A (B*)>
+<!ELEMENT B (C*, G?)>
+<!ELEMENT C (D | E)*>
+<!ELEMENT D EMPTY>
+<!ELEMENT E (F+)>
+<!ELEMENT F (#PCDATA)>
+<!ELEMENT G (G*)>
+<!ATTLIST A x CDATA #IMPLIED>
+<!ATTLIST D x CDATA #REQUIRED>
+"""
+
+
+class TestStructure:
+    def test_figure1_graph(self):
+        schema = parse_dtd(FIGURE1_DTD)
+        assert schema.roots == {"A"}
+        assert schema.children_of("A") == {"B"}
+        assert schema.children_of("B") == {"C", "G"}
+        assert schema.children_of("C") == {"D", "E"}
+        assert schema.children_of("G") == {"G"}
+
+    def test_pcdata_marks_text(self):
+        schema = parse_dtd(FIGURE1_DTD)
+        assert schema["F"].text_kind == "string"
+        assert schema["B"].text_kind is None
+
+    def test_attributes(self):
+        schema = parse_dtd(FIGURE1_DTD)
+        assert "x" in schema["A"].attributes
+        assert "x" in schema["D"].attributes
+
+    def test_explicit_root(self):
+        schema = parse_dtd(FIGURE1_DTD, root="A")
+        assert schema.roots == {"A"}
+
+    def test_marking_matches_hand_schema(self):
+        marking = SchemaMarking(parse_dtd(FIGURE1_DTD))
+        assert marking.classify("D") is PathClass.UNIQUE
+        assert marking.classify("G") is PathClass.INFINITE
+
+    def test_mixed_content(self):
+        schema = parse_dtd(
+            "<!ELEMENT p (#PCDATA | b)*>\n<!ELEMENT b (#PCDATA)>"
+        )
+        assert schema["p"].text_kind == "string"
+        assert schema.children_of("p") == {"b"}
+
+    def test_any_content(self):
+        schema = parse_dtd(
+            "<!ELEMENT a ANY>\n<!ELEMENT b (#PCDATA)>"
+        )
+        assert schema.children_of("a") == {"a", "b"}
+
+    def test_numeric_enumeration_attribute(self):
+        schema = parse_dtd(
+            "<!ELEMENT a EMPTY>\n<!ATTLIST a lvl (1|2|3) #REQUIRED>"
+        )
+        assert schema["a"].attributes["lvl"].kind == "number"
+
+    def test_word_enumeration_attribute(self):
+        schema = parse_dtd(
+            "<!ELEMENT a EMPTY>\n<!ATTLIST a kind (x|y) 'x'>"
+        )
+        assert schema["a"].attributes["kind"].kind == "string"
+
+    def test_unreachable_alternate_roots_pruned(self):
+        schema = parse_dtd(
+            "<!ELEMENT main (item*)>\n<!ELEMENT item (#PCDATA)>\n"
+            "<!ELEMENT alt (item*)>"
+        )
+        assert "alt" not in schema
+        assert schema.roots == {"main"}
+
+    def test_end_to_end_with_conforming_document(self):
+        schema = parse_dtd(FIGURE1_DTD)
+        doc = parse_document("<A x='1'><B><C><E><F>7</F></E></C></B></A>")
+        assert schema.conforms(doc)
+
+
+class TestErrors:
+    def test_no_elements(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ATTLIST a x CDATA #IMPLIED>")
+
+    def test_duplicate_element(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a EMPTY>\n<!ELEMENT a EMPTY>")
+
+    def test_undeclared_child(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a (ghost)>")
+
+    def test_attlist_for_unknown_element(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a EMPTY>\n<!ATTLIST b x CDATA #IMPLIED>")
+
+    def test_unknown_root(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a EMPTY>", root="zzz")

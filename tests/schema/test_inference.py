@@ -1,0 +1,89 @@
+"""Schema inference unit + property tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import infer_schema, parse_document
+from repro.workloads import XMarkConfig, generate_xmark
+
+
+class TestInference:
+    def test_roots_and_edges(self):
+        doc = parse_document("<a><b><c/></b><b/></a>")
+        schema = infer_schema([doc])
+        assert schema.roots == {"a"}
+        assert schema.children_of("a") == {"b"}
+        assert schema.children_of("b") == {"c"}
+
+    def test_numeric_text_kind(self):
+        doc = parse_document("<a><n>12</n><n>3.5</n><s>hello</s></a>")
+        schema = infer_schema([doc])
+        assert schema["n"].text_kind == "number"
+        assert schema["s"].text_kind == "string"
+
+    def test_mixed_observations_degrade_to_string(self):
+        doc = parse_document("<a><n>12</n><n>twelve</n></a>")
+        schema = infer_schema([doc])
+        assert schema["n"].text_kind == "string"
+
+    def test_no_text_means_no_text_kind(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        schema = infer_schema([doc])
+        assert schema["b"].text_kind is None
+
+    def test_attribute_kinds(self):
+        doc = parse_document("<a x='1' y='one'><b x='2'/></a>")
+        schema = infer_schema([doc])
+        assert schema["a"].attributes["x"].kind == "number"
+        assert schema["a"].attributes["y"].kind == "string"
+        assert schema["b"].attributes["x"].kind == "number"
+
+    def test_attribute_kind_degrades_across_occurrences(self):
+        doc = parse_document("<a><b x='1'/><b x='one'/></a>")
+        schema = infer_schema([doc])
+        assert schema["b"].attributes["x"].kind == "string"
+
+    def test_multiple_documents_merge(self):
+        doc1 = parse_document("<a><b/></a>")
+        doc2 = parse_document("<r><a><c/></a></r>")
+        schema = infer_schema([doc1, doc2])
+        assert schema.roots == {"a", "r"}
+        assert schema.children_of("a") == {"b", "c"}
+
+    def test_recursion_detected(self):
+        doc = parse_document("<g><g><g/></g></g>")
+        schema = infer_schema([doc])
+        assert "g" in schema.children_of("g")
+
+    def test_inferred_schema_accepts_its_documents(self):
+        doc = generate_xmark(XMarkConfig(scale=0.3, seed=5))
+        schema = infer_schema([doc])
+        assert schema.conforms(doc)
+        schema.validate()
+
+
+_NAMES = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+@st.composite
+def random_markup(draw, depth=0):
+    name = draw(_NAMES)
+    if depth >= 3:
+        return f"<{name}/>"
+    children = [
+        draw(random_markup(depth=depth + 1))
+        for _ in range(draw(st.integers(0, 3)))
+    ]
+    return f"<{name}>{''.join(children)}</{name}>"
+
+
+@given(random_markup())
+@settings(max_examples=100, deadline=None)
+def test_inference_is_sound(markup):
+    """Every document conforms to the schema inferred from it."""
+    doc = parse_document(markup)
+    schema = infer_schema([doc])
+    assert schema.conforms(doc)
+    schema.validate()
+    # And all its paths resolve in the graph.
+    for element in doc.iter_elements():
+        assert element.name in schema

@@ -1,0 +1,103 @@
+"""Tests for the Section 4.5 U-P / F-P / I-P schema marking."""
+
+import pytest
+
+from repro import PathClass, Schema, SchemaError, SchemaMarking, figure1_schema
+
+
+def wildcard_schema() -> Schema:
+    """A → B, A → C, B → D, C → D: D has two finite root paths (F-P)."""
+    schema = Schema(roots=["A"])
+    for parent, child in [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]:
+        schema.add_edge(parent, child)
+    return schema
+
+
+class TestClassification:
+    def test_unique_path_nodes(self):
+        marking = SchemaMarking(figure1_schema())
+        for name in ("A", "B", "C", "D", "E", "F"):
+            assert marking.classify(name) is PathClass.UNIQUE, name
+
+    def test_recursive_node_is_infinite(self):
+        marking = SchemaMarking(figure1_schema())
+        assert marking.classify("G") is PathClass.INFINITE
+
+    def test_finite_paths_node(self):
+        marking = SchemaMarking(wildcard_schema())
+        assert marking.classify("D") is PathClass.FINITE
+        assert marking.classify("B") is PathClass.UNIQUE
+
+    def test_node_below_cycle_is_infinite(self):
+        schema = Schema(roots=["A"])
+        for parent, child in [("A", "G"), ("G", "G"), ("G", "X")]:
+            schema.add_edge(parent, child)
+        marking = SchemaMarking(schema)
+        assert marking.classify("X") is PathClass.INFINITE
+
+    def test_cycle_off_path_does_not_infect(self):
+        # The G-cycle hangs off B, but D's paths never pass through it.
+        schema = Schema(roots=["A"])
+        for parent, child in [
+            ("A", "B"),
+            ("B", "G"),
+            ("G", "G"),
+            ("B", "D"),
+        ]:
+            schema.add_edge(parent, child)
+        marking = SchemaMarking(schema)
+        assert marking.classify("D") is PathClass.UNIQUE
+
+    def test_unreachable_element_raises(self):
+        schema = Schema(roots=["A"])
+        schema.add_edge("A", "B")
+        schema.declare("Z")
+        marking = SchemaMarking(schema)
+        with pytest.raises(SchemaError):
+            marking.classify("Z")
+
+    def test_too_many_paths_degrade_to_infinite(self):
+        # A diamond ladder doubles the path count per level: 2^6 = 64
+        # paths exceed a small cap.
+        schema = Schema(roots=["n0"])
+        for level in range(6):
+            schema.add_edge(f"n{level}", f"l{level}")
+            schema.add_edge(f"n{level}", f"r{level}")
+            schema.add_edge(f"l{level}", f"n{level + 1}")
+            schema.add_edge(f"r{level}", f"n{level + 1}")
+        marking = SchemaMarking(schema, max_paths=16)
+        assert marking.classify("n6") is PathClass.INFINITE
+        roomier = SchemaMarking(schema, max_paths=1000)
+        assert roomier.classify("n6") is PathClass.FINITE
+
+
+class TestRootPaths:
+    def test_unique_path_enumeration(self):
+        marking = SchemaMarking(figure1_schema())
+        assert marking.root_paths("F") == ["/A/B/C/E/F"]
+
+    def test_finite_paths_enumeration(self):
+        marking = SchemaMarking(wildcard_schema())
+        assert sorted(marking.root_paths("D")) == ["/A/B/D", "/A/C/D"]
+
+    def test_infinite_returns_none(self):
+        marking = SchemaMarking(figure1_schema())
+        assert marking.root_paths("G") is None
+
+    def test_root_has_its_own_path(self):
+        marking = SchemaMarking(figure1_schema())
+        assert marking.root_paths("A") == ["/A"]
+
+    def test_marking_table_covers_reachable(self):
+        marking = SchemaMarking(figure1_schema())
+        table = marking.marking_table()
+        assert set(table) == {"A", "B", "C", "D", "E", "F", "G"}
+        assert table["G"] is PathClass.INFINITE
+
+    def test_multiple_roots(self):
+        schema = Schema(roots=["a", "b"])
+        schema.add_edge("a", "x")
+        schema.add_edge("b", "x")
+        marking = SchemaMarking(schema)
+        assert marking.classify("x") is PathClass.FINITE
+        assert sorted(marking.root_paths("x")) == ["/a/x", "/b/x"]

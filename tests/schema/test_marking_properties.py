@@ -1,0 +1,90 @@
+"""Property test: the U-P/F-P/I-P marking agrees with brute force.
+
+Random small DAG-ish schemas (with occasional self-loops) are classified
+both by :class:`SchemaMarking` and by a bounded breadth-first path walk.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import PathClass, Schema, SchemaMarking
+
+_NAMES = ["r", "a", "b", "c", "d"]
+
+
+@st.composite
+def schemas(draw):
+    schema = Schema(roots=["r"])
+    for name in _NAMES[1:]:
+        schema.declare(name)
+    # Random edges; always keep everything reachable.
+    for index, child in enumerate(_NAMES[1:]):
+        parent = draw(st.sampled_from(_NAMES[: index + 1]))
+        schema.add_edge(parent, child)
+    for _ in range(draw(st.integers(0, 4))):
+        parent = draw(st.sampled_from(_NAMES))
+        child = draw(st.sampled_from(_NAMES[1:]))
+        schema.add_edge(parent, child)
+    return schema
+
+
+def brute_force_paths(schema: Schema, target: str):
+    """Independent oracle.
+
+    A root-to-target *walk* longer than the vertex count must repeat a
+    vertex, i.e. a cycle sits on a root-to-target walk, i.e. the label
+    path set is infinite — and a pumped cycle shows up at some length in
+    ``(n, 2n]``.  Layered reachability decides that cheaply; when finite,
+    every walk is simple (length <= n) and exhaustive enumeration up to
+    depth n collects all label paths.
+    """
+    n = len(schema.reachable_from_roots())
+    # Layered reachability: which vertices end a walk of exactly k edges?
+    layer = set(schema.roots)
+    for depth in range(1, 3 * n + 1):
+        layer = set().union(
+            *(schema.children_of(v) for v in layer)
+        ) if layer else set()
+        if depth + 1 > n and target in layer:
+            return None  # a walk of length > n vertices reaches target
+    # Finite: enumerate all simple walks up to n vertices.
+    paths = []
+    frontier = [("/" + root, root) for root in schema.roots]
+    for _ in range(n):
+        next_frontier = []
+        for path, name in frontier:
+            if name == target:
+                paths.append(path)
+            for child in schema.children_of(name):
+                next_frontier.append((path + "/" + child, child))
+        frontier = next_frontier
+    for path, name in frontier:
+        if name == target:
+            paths.append(path)
+    return paths
+
+
+@given(schemas())
+@settings(max_examples=200, deadline=None)
+def test_marking_agrees_with_brute_force(schema):
+    marking = SchemaMarking(schema, max_paths=256)
+    for name in sorted(schema.reachable_from_roots()):
+        expected_paths = brute_force_paths(schema, name)
+        got = marking.classify(name)
+        if expected_paths is None:
+            assert got is PathClass.INFINITE, name
+        else:
+            if got is PathClass.INFINITE:
+                # the conservative cap may fire; only allowed when the
+                # brute force found many paths
+                assert len(expected_paths) > 256 or False, (
+                    name,
+                    expected_paths,
+                )
+            elif got is PathClass.UNIQUE:
+                assert len(expected_paths) == 1, name
+                assert marking.root_paths(name) == expected_paths
+            else:
+                assert len(expected_paths) > 1, name
+                assert sorted(marking.root_paths(name)) == sorted(
+                    expected_paths
+                )

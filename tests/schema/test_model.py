@@ -1,0 +1,118 @@
+"""Unit tests for the schema graph model."""
+
+import pytest
+
+from repro import Schema, SchemaError, figure1_schema, parse_document
+from repro.schema.model import AttributeDecl
+
+
+class TestConstruction:
+    def test_declare_is_idempotent(self):
+        schema = Schema(roots=["a"])
+        first = schema.declare("b")
+        second = schema.declare("b")
+        assert first is second
+
+    def test_add_edge_links_both_directions(self):
+        schema = Schema(roots=["a"])
+        schema.add_edge("a", "b")
+        assert "b" in schema.children_of("a")
+        assert "a" in schema.parents_of("b")
+
+    def test_type_name_conflict_rejected(self):
+        schema = Schema(roots=["a"])
+        schema.declare("b", type_name="T1")
+        with pytest.raises(SchemaError):
+            schema.declare("b", type_name="T2")
+
+    def test_type_name_repeat_allowed(self):
+        schema = Schema(roots=["a"])
+        schema.declare("b", type_name="T1")
+        assert schema.declare("b", type_name="T1").type_name == "T1"
+
+    def test_attribute_kind_conflict_degrades_to_string(self):
+        schema = Schema(roots=["a"])
+        decl = schema.declare("a")
+        decl.add_attribute("x", "number")
+        decl.add_attribute("x", "string")
+        assert decl.attributes["x"].kind == "string"
+
+    def test_bad_value_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDecl("x", "floatish")
+
+    def test_unknown_element_lookup_raises(self):
+        schema = Schema(roots=["a"])
+        with pytest.raises(SchemaError):
+            schema["nope"]
+
+    def test_contains(self):
+        schema = Schema(roots=["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+
+class TestReachability:
+    def test_descendants_of(self):
+        schema = figure1_schema()
+        assert schema.descendants_of(["C"]) == {"D", "E", "F"}
+
+    def test_ancestors_of(self):
+        schema = figure1_schema()
+        assert schema.ancestors_of(["F"]) == {"E", "C", "B", "A"}
+
+    def test_recursive_closure_terminates(self):
+        schema = figure1_schema()
+        assert "G" in schema.descendants_of(["G"])
+        assert "G" in schema.ancestors_of(["G"])
+
+    def test_reachable_from_roots(self):
+        schema = figure1_schema()
+        assert schema.reachable_from_roots() == {
+            "A", "B", "C", "D", "E", "F", "G",
+        }
+
+
+class TestValidation:
+    def test_figure1_is_valid(self):
+        figure1_schema().validate()
+
+    def test_no_roots_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema().validate()
+
+    def test_unreachable_declaration_rejected(self):
+        schema = Schema(roots=["a"])
+        schema.declare("orphan")
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_conforms_accepts_valid_document(self):
+        doc = parse_document("<A><B><C><D/></C></B></A>")
+        assert figure1_schema().conforms(doc)
+
+    def test_conforms_rejects_wrong_root(self):
+        doc = parse_document("<B/>")
+        assert not figure1_schema().conforms(doc)
+
+    def test_conforms_rejects_unknown_element(self):
+        doc = parse_document("<A><Z/></A>")
+        assert not figure1_schema().conforms(doc)
+
+    def test_conforms_rejects_bad_nesting(self):
+        doc = parse_document("<A><F/></A>")
+        assert not figure1_schema().conforms(doc)
+
+
+class TestIteration:
+    def test_edges_sorted_per_parent(self):
+        schema = figure1_schema()
+        edges = list(schema.edges())
+        assert ("B", "C") in edges and ("B", "G") in edges
+        assert ("G", "G") in edges
+
+    def test_element_names_insertion_order(self):
+        schema = Schema(roots=["r"])
+        schema.add_edge("r", "b")
+        schema.add_edge("r", "a")
+        assert schema.element_names() == ["r", "b", "a"]

@@ -1,0 +1,65 @@
+"""Diagnostic validator tests."""
+
+from repro import figure1_schema, parse_document
+from repro.schema.validate import iter_violations, validate_document
+
+
+class TestValidateDocument:
+    def test_conforming_document_is_clean(self, figure1_document):
+        assert validate_document(figure1_schema(), figure1_document) == []
+
+    def test_wrong_root(self):
+        doc = parse_document("<B/>")
+        violations = validate_document(figure1_schema(), doc)
+        assert any(v.kind == "root" for v in violations)
+
+    def test_unknown_element_reported_with_path(self):
+        doc = parse_document("<A><B><Z/></B></A>")
+        (violation,) = [
+            v
+            for v in validate_document(figure1_schema(), doc)
+            if v.kind == "unknown-element"
+        ]
+        assert violation.path == "/A/B/Z"
+        assert violation.node_id == 3
+
+    def test_bad_nesting(self):
+        doc = parse_document("<A><F>1</F></A>")
+        violations = validate_document(figure1_schema(), doc)
+        assert any(
+            v.kind == "nesting" and "'F'" in v.message for v in violations
+        )
+
+    def test_undeclared_attribute(self):
+        doc = parse_document("<A><B zz='1'/></A>")
+        violations = validate_document(figure1_schema(), doc)
+        assert [v.kind for v in violations] == ["attribute"]
+
+    def test_multiple_violations_collected(self):
+        doc = parse_document("<A><Z/><F>1</F><B q='2'/></A>")
+        kinds = {v.kind for v in validate_document(figure1_schema(), doc)}
+        assert kinds == {"unknown-element", "nesting", "attribute"}
+
+    def test_limit_respected(self):
+        markup = "<A>" + "<Z/>" * 20 + "</A>"
+        doc = parse_document(markup)
+        assert len(validate_document(figure1_schema(), doc, limit=5)) == 5
+
+    def test_iterator_is_lazy(self):
+        doc = parse_document("<A>" + "<Z/>" * 1000 + "</A>")
+        iterator = iter_violations(figure1_schema(), doc)
+        first = next(iterator)
+        assert first.kind == "unknown-element"
+
+    def test_str_rendering(self):
+        doc = parse_document("<A><Z/></A>")
+        (violation,) = validate_document(figure1_schema(), doc)
+        text = str(violation)
+        assert "unknown-element" in text and "/A/Z" in text
+
+    def test_agrees_with_conforms(self, xmark_document):
+        from repro import infer_schema
+
+        schema = infer_schema([xmark_document])
+        assert schema.conforms(xmark_document)
+        assert validate_document(schema, xmark_document) == []

@@ -1,0 +1,222 @@
+"""XSD-subset reader tests, including shared complex types end-to-end."""
+
+import pytest
+
+from repro import (
+    Database,
+    NativeEngine,
+    PPFEngine,
+    SchemaError,
+    ShreddedStore,
+    parse_document,
+    parse_xsd,
+)
+
+FIGURE1_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="B">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="C">
+                <xs:complexType>
+                  <xs:choice>
+                    <xs:element name="D">
+                      <xs:complexType>
+                        <xs:attribute name="x" type="xs:integer"/>
+                      </xs:complexType>
+                    </xs:element>
+                    <xs:element name="E">
+                      <xs:complexType>
+                        <xs:sequence>
+                          <xs:element name="F" type="xs:integer"/>
+                        </xs:sequence>
+                      </xs:complexType>
+                    </xs:element>
+                  </xs:choice>
+                </xs:complexType>
+              </xs:element>
+              <xs:element ref="G"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="x" type="xs:integer"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="G">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="G"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+SHARED_TYPE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="AddressType">
+    <xs:sequence>
+      <xs:element name="city" type="xs:string"/>
+      <xs:element name="zip" type="xs:integer"/>
+    </xs:sequence>
+    <xs:attribute name="country" type="xs:string"/>
+  </xs:complexType>
+  <xs:element name="company">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="billing" type="AddressType"/>
+        <xs:element name="shipping" type="AddressType"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+class TestStructure:
+    def test_figure1_graph(self):
+        schema = parse_xsd(FIGURE1_XSD)
+        assert "A" in schema.roots
+        assert schema.children_of("B") == {"C", "G"}
+        assert schema.children_of("C") == {"D", "E"}
+        assert schema.children_of("G") == {"G"}
+
+    def test_simple_typed_element_gets_text_kind(self):
+        schema = parse_xsd(FIGURE1_XSD)
+        assert schema["F"].text_kind == "number"
+
+    def test_attribute_kinds(self):
+        schema = parse_xsd(FIGURE1_XSD)
+        assert schema["A"].attributes["x"].kind == "number"
+        assert schema["D"].attributes["x"].kind == "number"
+
+    def test_mixed_content(self):
+        schema = parse_xsd(
+            """
+            <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="p">
+                <xs:complexType mixed="true">
+                  <xs:sequence>
+                    <xs:element name="b" type="xs:string"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:schema>
+            """
+        )
+        assert schema["p"].text_kind == "string"
+
+    def test_simple_content_extension(self):
+        schema = parse_xsd(
+            """
+            <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="price">
+                <xs:complexType>
+                  <xs:simpleContent>
+                    <xs:extension base="xs:decimal">
+                      <xs:attribute name="currency" type="xs:string"/>
+                    </xs:extension>
+                  </xs:simpleContent>
+                </xs:complexType>
+              </xs:element>
+            </xs:schema>
+            """
+        )
+        assert schema["price"].text_kind == "number"
+        assert "currency" in schema["price"].attributes
+
+
+class TestSharedComplexTypes:
+    def test_type_name_recorded(self):
+        schema = parse_xsd(SHARED_TYPE_XSD)
+        assert schema["billing"].type_name == "AddressType"
+        assert schema["shipping"].type_name == "AddressType"
+
+    def test_shared_relation_in_mapping(self):
+        schema = parse_xsd(SHARED_TYPE_XSD)
+        store = ShreddedStore.create(Database.memory(), schema)
+        info = store.mapping.relation_for("billing")
+        assert info is store.mapping.relation_for("shipping")
+        assert info.table == "AddressType"
+        assert info.shared
+
+    def test_queries_over_shared_relation(self):
+        schema = parse_xsd(SHARED_TYPE_XSD)
+        store = ShreddedStore.create(Database.memory(), schema)
+        doc = parse_document(
+            "<company>"
+            "<billing country='GR'><city>Athens</city><zip>11362</zip>"
+            "</billing>"
+            "<shipping country='DE'><city>Berlin</city><zip>10115</zip>"
+            "</shipping>"
+            "</company>"
+        )
+        store.load(doc)
+        engine = PPFEngine(store)
+        native = NativeEngine(doc)
+        for xpath in (
+            "//billing",
+            "//shipping/city",
+            "//billing[@country='GR']",
+            "/company/*[zip=10115]",
+        ):
+            expected = sorted(n.node_id for n in native.execute(xpath))
+            assert sorted(engine.execute(xpath).ids) == expected, xpath
+
+
+class TestErrors:
+    def test_not_a_schema(self):
+        with pytest.raises(SchemaError):
+            parse_xsd("<root/>")
+
+    def test_unknown_type_reference(self):
+        with pytest.raises(SchemaError):
+            parse_xsd(
+                """
+                <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+                  <xs:element name="a" type="Missing"/>
+                </xs:schema>
+                """
+            )
+
+    def test_unknown_element_ref(self):
+        with pytest.raises(SchemaError):
+            parse_xsd(
+                """
+                <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+                  <xs:element name="a">
+                    <xs:complexType><xs:sequence>
+                      <xs:element ref="ghost"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                </xs:schema>
+                """
+            )
+
+    def test_no_global_elements(self):
+        with pytest.raises(SchemaError):
+            parse_xsd(
+                """
+                <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+                  <xs:complexType name="T"/>
+                </xs:schema>
+                """
+            )
+
+    def test_unsupported_construct(self):
+        with pytest.raises(SchemaError):
+            parse_xsd(
+                """
+                <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+                  <xs:element name="a">
+                    <xs:complexType>
+                      <xs:complexContent/>
+                    </xs:complexType>
+                  </xs:element>
+                </xs:schema>
+                """
+            )

@@ -1,0 +1,105 @@
+"""Incremental insertion tests: append_subtree descriptors, paths,
+query equivalence with a freshly loaded equivalent document."""
+
+import pytest
+
+from repro import (
+    Database,
+    NativeEngine,
+    PPFEngine,
+    ShreddedStore,
+    StorageError,
+    figure1_schema,
+    parse_document,
+    parse_fragment,
+)
+
+BASE_XML = "<A x='3'><B><C><D x='4'/></C></B></A>"
+
+
+@pytest.fixture()
+def store():
+    s = ShreddedStore.create(Database.memory(), figure1_schema())
+    s.load(parse_document(BASE_XML))
+    return s
+
+
+class TestAppendSubtree:
+    def test_returns_new_ids_in_preorder(self, store):
+        fragment = parse_fragment("<C><E><F>9</F></E></C>")
+        new_ids = store.append_subtree(2, fragment)  # under B
+        assert len(new_ids) == 3
+        assert new_ids == sorted(new_ids)
+
+    def test_queries_see_appended_content(self, store):
+        store.append_subtree(2, parse_fragment("<C><E><F>9</F></E></C>"))
+        engine = PPFEngine(store)
+        assert len(engine.execute("//C")) == 2
+        assert engine.execute("//F[.=9]").ids
+        assert engine.execute("//F/text()").values == ["9"]
+
+    def test_dewey_extends_sibling_order(self, store):
+        new_ids = store.append_subtree(2, parse_fragment("<G/>"))
+        engine = PPFEngine(store)
+        result = engine.execute("/A/B/*")
+        # the appended G sorts after the existing C
+        assert result.ids[-1] == new_ids[0]
+
+    def test_new_paths_join_the_index(self, store):
+        before = len(store.path_index)
+        store.append_subtree(2, parse_fragment("<C><E><F>1</F></E></C>"))
+        # /A/B/C exists already; /A/B/C/E and /A/B/C/E/F are new
+        assert len(store.path_index) == before + 2
+
+    def test_matches_fresh_load_of_equivalent_document(self):
+        grown_xml = (
+            "<A x='3'><B><C><D x='4'/></C>"
+            "<C><E><F>5</F></E></C><G/></B></A>"
+        )
+        incremental = ShreddedStore.create(
+            Database.memory(), figure1_schema()
+        )
+        incremental.load(parse_document(BASE_XML))
+        incremental.append_subtree(
+            2, parse_fragment("<C><E><F>5</F></E></C>")
+        )
+        incremental.append_subtree(2, parse_fragment("<G/>"))
+
+        engine = PPFEngine(incremental)
+        oracle = NativeEngine(parse_document(grown_xml))
+        for xpath in (
+            "//C",
+            "//F",
+            "/A/B/*",
+            "//C[E/F=5]",
+            "//G/preceding-sibling::C",
+            "//F/ancestor::B",
+        ):
+            assert len(engine.execute(xpath)) == len(
+                oracle.execute(xpath)
+            ), xpath
+
+    def test_nested_append_under_appended_node(self, store):
+        (c_id, *_rest) = store.append_subtree(2, parse_fragment("<C/>"))
+        store.append_subtree(c_id, parse_fragment("<E><F>3</F></E>"))
+        engine = PPFEngine(store)
+        assert engine.execute("//F[.=3]").ids
+
+    def test_nonconforming_fragment_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.append_subtree(2, parse_fragment("<F>1</F>"))  # F under B
+
+    def test_nonconforming_inner_content_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.append_subtree(2, parse_fragment("<C><G/></C>"))
+
+    def test_unknown_parent_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.append_subtree(999, parse_fragment("<C/>"))
+
+    def test_attributes_and_numeric_text_converted(self, store):
+        store.append_subtree(
+            3, parse_fragment("<D x='7'/>")
+        )  # second D under the existing C
+        engine = PPFEngine(store)
+        assert len(engine.execute("//D[@x=7]")) == 1

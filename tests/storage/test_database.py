@@ -1,0 +1,81 @@
+"""Database wrapper tests: the regexp UDF, error wrapping, diagnostics."""
+
+import pytest
+
+from repro import Database, StorageError
+
+
+@pytest.fixture()
+def db():
+    with Database.memory() as database:
+        yield database
+
+
+class TestRegexpFunctions:
+    def test_regexp_like_matches(self, db):
+        assert db.query_one("SELECT regexp_like('/A/B', '^/A/B$')")[0] == 1
+
+    def test_regexp_like_rejects(self, db):
+        assert db.query_one("SELECT regexp_like('/A/B', '^/A$')")[0] == 0
+
+    def test_regexp_like_null_value(self, db):
+        assert db.query_one("SELECT regexp_like(NULL, 'x')")[0] == 0
+
+    def test_regexp_operator(self, db):
+        assert db.query_one("SELECT '/A/B/C' REGEXP '/B/'")[0] == 1
+
+    def test_paper_table1_patterns(self, db):
+        cases = [
+            ("/A/B/C", "^.*/B/C$", 1),
+            ("/X/B/C", "^.*/B/C$", 1),
+            ("/A/B/F", "^/A/B/(.+/)?F$", 1),
+            ("/A/B/C/E/F", "^/A/B/(.+/)?F$", 1),
+            ("/A/B", "^/A/B/(.+/)?F$", 0),
+            ("/A/B/C/E/F", "^.*/C/[^/]+/F$", 1),
+            ("/A/B/C/F", "^.*/C/[^/]+/F$", 0),
+        ]
+        for value, pattern, expected in cases:
+            got = db.query_one(
+                "SELECT regexp_like(?, ?)", (value, pattern)
+            )[0]
+            assert got == expected, (value, pattern)
+
+
+class TestExecution:
+    def test_query_and_query_one(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.executemany("INSERT INTO t VALUES (?)", [(1,), (2,)])
+        assert db.query("SELECT x FROM t ORDER BY x") == [(1,), (2,)]
+        assert db.query_one("SELECT MAX(x) FROM t") == (2,)
+
+    def test_query_one_empty(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        assert db.query_one("SELECT x FROM t") is None
+
+    def test_error_includes_sql(self, db):
+        with pytest.raises(StorageError, match="SELECT broken"):
+            db.query("SELECT broken FROM nowhere")
+
+    def test_executescript(self, db):
+        db.executescript("CREATE TABLE a (x); CREATE TABLE b (y);")
+        assert set(db.table_names()) >= {"a", "b"}
+
+    def test_query_plan(self, db):
+        db.execute("CREATE TABLE t (x INTEGER PRIMARY KEY)")
+        plan = db.query_plan("SELECT * FROM t WHERE x = 5")
+        assert plan  # at least one step
+
+    def test_context_manager_closes(self):
+        db = Database.memory()
+        with db:
+            db.execute("CREATE TABLE t (x)")
+        with pytest.raises(StorageError):
+            db.execute("SELECT 1")
+
+    def test_open_file(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        with Database.open(path) as db:
+            db.execute("CREATE TABLE t (x)")
+            db.commit()
+        with Database.open(path) as db:
+            assert "t" in db.table_names()

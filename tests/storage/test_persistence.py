@@ -1,0 +1,109 @@
+"""Store persistence: schema round-trip, reopen from file, deletion."""
+
+import pytest
+
+from repro import (
+    Database,
+    PPFEngine,
+    Schema,
+    ShreddedStore,
+    StorageError,
+    figure1_schema,
+    infer_schema,
+    parse_document,
+)
+from repro.workloads import XMarkConfig, generate_xmark
+
+
+class TestSchemaSerialization:
+    def test_round_trip_preserves_structure(self):
+        schema = figure1_schema()
+        rebuilt = Schema.from_dict(schema.to_dict())
+        assert rebuilt.roots == schema.roots
+        assert set(rebuilt.element_names()) == set(schema.element_names())
+        for name in schema.element_names():
+            assert rebuilt.children_of(name) == schema.children_of(name)
+            assert rebuilt[name].text_kind == schema[name].text_kind
+            assert {
+                a.name: a.kind for a in rebuilt[name].attributes.values()
+            } == {a.name: a.kind for a in schema[name].attributes.values()}
+
+    def test_round_trip_of_inferred_schema(self):
+        doc = generate_xmark(XMarkConfig(scale=0.3))
+        schema = infer_schema([doc])
+        rebuilt = Schema.from_dict(schema.to_dict())
+        assert rebuilt.conforms(doc)
+
+    def test_type_names_preserved(self):
+        schema = Schema(roots=["r"])
+        schema.add_edge("r", "a")
+        schema.declare("a", type_name="T")
+        rebuilt = Schema.from_dict(schema.to_dict())
+        assert rebuilt["a"].type_name == "T"
+
+
+class TestReopen:
+    def test_reopen_from_file(self, tmp_path):
+        path = str(tmp_path / "figure1.db")
+        doc = parse_document(
+            "<A x='3'><B><C><E><F>1</F></E></C></B></A>", name="one"
+        )
+        store = ShreddedStore.create(Database.open(path), figure1_schema())
+        store.load(doc)
+        store.db.close()
+
+        reopened = ShreddedStore.open(Database.open(path))
+        assert reopened.total_elements() == 5  # A, B, C, E, F
+        engine = PPFEngine(reopened)
+        assert len(engine.execute("//F")) == 1
+        assert engine.execute("//F/text()").values == ["1"]
+
+    def test_reopened_store_accepts_more_documents(self, tmp_path):
+        path = str(tmp_path / "grow.db")
+        store = ShreddedStore.create(Database.open(path), figure1_schema())
+        store.load(parse_document("<A><B/></A>"))
+        store.db.close()
+
+        reopened = ShreddedStore.open(Database.open(path))
+        reopened.load(parse_document("<A><B/><B/></A>"))
+        assert len(PPFEngine(reopened).execute("//B")) == 3
+
+    def test_open_without_schema_raises(self):
+        db = Database.memory()
+        db.execute("CREATE TABLE something (x)")
+        with pytest.raises(StorageError):
+            ShreddedStore.open(db)
+
+
+class TestDeletion:
+    def test_delete_document(self):
+        store = ShreddedStore.create(Database.memory(), figure1_schema())
+        doc = parse_document("<A><B><C><D/></C></B></A>")
+        first = store.load(doc)
+        second = store.load(doc)
+        removed = store.delete_document(first)
+        assert removed == 4
+        engine = PPFEngine(store)
+        result = engine.execute("//D")
+        assert len(result) == 1
+        assert result.rows[0].doc_id == second
+
+    def test_delete_keeps_shared_paths(self):
+        store = ShreddedStore.create(Database.memory(), figure1_schema())
+        doc = parse_document("<A><B/></A>")
+        doc_id = store.load(doc)
+        store.delete_document(doc_id)
+        assert len(store.path_index) == 2  # /A and /A/B survive
+
+    def test_delete_unknown_raises(self):
+        store = ShreddedStore.create(Database.memory(), figure1_schema())
+        with pytest.raises(StorageError):
+            store.delete_document(42)
+
+    def test_reload_after_delete(self):
+        store = ShreddedStore.create(Database.memory(), figure1_schema())
+        doc = parse_document("<A><B/></A>")
+        doc_id = store.load(doc)
+        store.delete_document(doc_id)
+        store.load(doc)
+        assert len(PPFEngine(store).execute("//B")) == 1

@@ -1,0 +1,123 @@
+"""Update operations: subtree deletion (Dewey range), value updates."""
+
+import pytest
+
+from repro import (
+    Database,
+    NativeEngine,
+    PPFEngine,
+    ShreddedStore,
+    StorageError,
+    figure1_schema,
+    parse_document,
+)
+
+XML = "<A x='3'><B><C><D x='4'/></C><C><E><F>1</F><F>2</F></E></C><G/></B><B><G><G/></G></B></A>"
+
+
+@pytest.fixture()
+def store():
+    s = ShreddedStore.create(Database.memory(), figure1_schema())
+    s.load(parse_document(XML))
+    return s
+
+
+class TestDeleteSubtree:
+    def test_removes_node_and_descendants(self, store):
+        # node 5 is the second C, holding E and two F's (4 rows).
+        assert store.delete_subtree(5) == 4
+        engine = PPFEngine(store)
+        assert engine.execute("//F").ids == []
+        assert len(engine.execute("//C")) == 1
+
+    def test_leaf_deletion(self, store):
+        assert store.delete_subtree(4) == 1  # the D leaf
+        assert PPFEngine(store).execute("//D").ids == []
+
+    def test_root_deletion_empties_document(self, store):
+        assert store.delete_subtree(1) == 12
+        assert PPFEngine(store).execute("//*").ids == []
+
+    def test_unknown_id_raises(self, store):
+        with pytest.raises(StorageError):
+            store.delete_subtree(999)
+
+    def test_other_documents_untouched(self):
+        store = ShreddedStore.create(Database.memory(), figure1_schema())
+        doc = parse_document("<A><B><G/></B></A>")
+        store.load(doc)
+        second = store.load(doc)
+        # delete the first document's B subtree
+        store.delete_subtree(2)
+        engine = PPFEngine(store)
+        result = engine.execute("//G")
+        assert len(result) == 1
+        assert result.rows[0].doc_id == second
+
+    def test_queries_stay_consistent_with_oracle_after_delete(self, store):
+        store.delete_subtree(3)  # first C (with D)
+        remaining = parse_document(
+            "<A x='3'><B><C><E><F>1</F><F>2</F></E></C><G/></B>"
+            "<B><G><G/></G></B></A>"
+        )
+        # Note: dewey ordinals of survivors keep their original values,
+        # so compare counts per name rather than ids.
+        native = NativeEngine(remaining)
+        engine = PPFEngine(store)
+        for xpath in ("//C", "//F", "//G", "//C/E/F"):
+            assert len(engine.execute(xpath)) == len(native.execute(xpath))
+
+
+class TestValueUpdates:
+    def test_update_text(self, store):
+        store.update_text(7, 42)
+        engine = PPFEngine(store)
+        assert engine.execute("//F[.=42]").ids == [7]
+        assert engine.execute("//F[.=1]").ids == []
+
+    def test_update_text_rejected_without_column(self, store):
+        with pytest.raises(StorageError):
+            store.update_text(2, "nope")  # B stores no text
+
+    def test_update_attribute(self, store):
+        store.update_attribute(4, "x", 99)
+        assert PPFEngine(store).execute("//D[@x=99]").ids == [4]
+
+    def test_remove_attribute(self, store):
+        store.update_attribute(4, "x", None)
+        engine = PPFEngine(store)
+        assert engine.execute("//D[@x]").ids == []
+        assert len(engine.execute("//D")) == 1
+
+    def test_undeclared_attribute_rejected(self, store):
+        from repro import SchemaError
+
+        with pytest.raises(SchemaError):
+            store.update_attribute(4, "nope", 1)
+
+    def test_unknown_element_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.update_text(999, "x")
+
+
+class TestEngineConveniences:
+    def test_query_plan_uses_dewey_index_for_ancestor(self, store):
+        engine = PPFEngine(store)
+        plan = "\n".join(engine.query_plan("//F/ancestor::B"))
+        assert "idx_F_dewey" in plan  # the range probe side
+
+    def test_query_plan_empty_for_static_empty(self, store):
+        assert PPFEngine(store).query_plan("/A/F") == []
+
+    def test_iterate_streams_rows(self, store):
+        engine = PPFEngine(store)
+        rows = list(engine.iterate("//G"))
+        assert sorted(r.id for r in rows) == [9, 11, 12]
+
+    def test_iterate_values(self, store):
+        engine = PPFEngine(store)
+        values = [r.value for r in engine.iterate("//F/text()")]
+        assert sorted(values) == ["1", "2"]
+
+    def test_iterate_static_empty(self, store):
+        assert list(PPFEngine(store).iterate("/A/F")) == []

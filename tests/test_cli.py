@@ -1,0 +1,139 @@
+"""End-to-end CLI tests (shred → info → query → explain)."""
+
+import pytest
+
+from repro.cli import main
+
+XML_ONE = "<shop><item sku='a'><price>5</price></item></shop>"
+XML_TWO = (
+    "<shop><item sku='b'><price>9</price></item>"
+    "<item sku='c'><price>2</price></item></shop>"
+)
+
+
+@pytest.fixture()
+def xml_files(tmp_path):
+    one = tmp_path / "one.xml"
+    one.write_text(XML_ONE)
+    two = tmp_path / "two.xml"
+    two.write_text(XML_TWO)
+    return str(one), str(two)
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return str(tmp_path / "store.db")
+
+
+class TestCLI:
+    def test_shred_creates_store(self, db_path, xml_files, capsys):
+        assert main(["shred", db_path, *xml_files]) == 0
+        out = capsys.readouterr().out
+        assert "doc 1" in out and "doc 2" in out
+
+    def test_shred_appends_to_existing(self, db_path, xml_files, capsys):
+        main(["shred", db_path, xml_files[0]])
+        assert main(["shred", db_path, xml_files[1]]) == 0
+        main(["info", db_path])
+        out = capsys.readouterr().out
+        assert "documents: 2" in out
+
+    def test_query(self, db_path, xml_files, capsys):
+        main(["shred", db_path, *xml_files])
+        capsys.readouterr()
+        assert main(["query", db_path, "//item[price>4]"]) == 0
+        captured = capsys.readouterr()
+        assert "2 result(s)" in captured.err
+        assert "doc=" in captured.out
+
+    def test_query_values(self, db_path, xml_files, capsys):
+        main(["shred", db_path, *xml_files])
+        capsys.readouterr()
+        main(["query", db_path, "//item/@sku"])
+        out = capsys.readouterr().out.split()
+        assert out == ["a", "b", "c"]
+
+    def test_explain(self, db_path, xml_files, capsys):
+        main(["shred", db_path, *xml_files])
+        capsys.readouterr()
+        assert main(["explain", db_path, "//price"]) == 0
+        assert "SELECT DISTINCT" in capsys.readouterr().out
+
+    def test_info_lists_relations(self, db_path, xml_files, capsys):
+        main(["shred", db_path, *xml_files])
+        capsys.readouterr()
+        main(["info", db_path])
+        out = capsys.readouterr().out
+        assert "item" in out and "price" in out
+        assert "U-P" in out
+
+    def test_bad_xpath_reports_error(self, db_path, xml_files, capsys):
+        main(["shred", db_path, *xml_files])
+        capsys.readouterr()
+        assert main(["query", db_path, "//item["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, db_path, capsys):
+        assert main(["shred", db_path, "nope.xml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_on_missing_store(self, tmp_path, capsys):
+        missing = str(tmp_path / "missing.db")
+        assert main(["query", missing, "//x"]) == 1
+
+    def test_nonconforming_append_rejected(self, db_path, tmp_path, capsys):
+        first = tmp_path / "a.xml"
+        first.write_text("<shop><item/></shop>")
+        other = tmp_path / "b.xml"
+        other.write_text("<warehouse><box/></warehouse>")
+        main(["shred", db_path, str(first)])
+        capsys.readouterr()
+        assert main(["shred", db_path, str(other)]) == 1
+        assert "does not conform" in capsys.readouterr().err
+
+    def test_shred_with_dtd_schema(self, db_path, tmp_path, capsys):
+        dtd = tmp_path / "shop.dtd"
+        dtd.write_text(
+            "<!ELEMENT shop (item*)>\n"
+            "<!ELEMENT item (price)>\n"
+            "<!ELEMENT price (#PCDATA)>\n"
+            "<!ATTLIST item sku CDATA #REQUIRED>"
+        )
+        xml = tmp_path / "doc.xml"
+        xml.write_text(XML_ONE)
+        assert main(
+            ["shred", db_path, str(xml), "--schema", str(dtd)]
+        ) == 0
+        capsys.readouterr()
+        main(["query", db_path, "//item[price=5]"])
+        assert "1 result(s)" in capsys.readouterr().err
+
+    def test_shred_with_xsd_schema(self, db_path, tmp_path, capsys):
+        xsd = tmp_path / "shop.xsd"
+        xsd.write_text(
+            """
+            <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="shop"><xs:complexType><xs:sequence>
+                <xs:element name="item"><xs:complexType><xs:sequence>
+                  <xs:element name="price" type="xs:decimal"/>
+                </xs:sequence>
+                <xs:attribute name="sku" type="xs:string"/>
+                </xs:complexType></xs:element>
+              </xs:sequence></xs:complexType></xs:element>
+            </xs:schema>
+            """
+        )
+        xml = tmp_path / "doc.xml"
+        xml.write_text(XML_ONE)
+        assert main(
+            ["shred", db_path, str(xml), "--schema", str(xsd)]
+        ) == 0
+        capsys.readouterr()
+        main(["query", db_path, "//item[price>4]"])
+        assert "1 result(s)" in capsys.readouterr().err
+
+    def test_bench_smoke(self, capsys):
+        assert main(["bench", "--workload", "dblp", "--scale", "0.3",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "QD1" in out and "QD5" in out

@@ -1,0 +1,71 @@
+"""Error hierarchy and public-API surface tests."""
+
+import pytest
+
+import repro
+from repro import (
+    DeweyError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    TranslationError,
+    UnsupportedXPathError,
+    XMLParseError,
+    XPathSyntaxError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            XMLParseError,
+            XPathSyntaxError,
+            UnsupportedXPathError,
+            SchemaError,
+            StorageError,
+            TranslationError,
+            DeweyError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_parse_error_location_format(self):
+        error = XMLParseError("boom", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_without_location(self):
+        assert str(XMLParseError("boom")) == "boom"
+
+    def test_xpath_error_format(self):
+        error = XPathSyntaxError("bad", position=4, expression="//a[")
+        assert "offset 4" in str(error)
+        assert "//a[" in str(error)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            repro.parse_document("<oops>")
+        with pytest.raises(ReproError):
+            repro.parse_xpath("//[")
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_end_to_end_through_top_level_names_only(self):
+        doc = repro.parse_document("<r><v>1</v><v>2</v></r>")
+        schema = repro.infer_schema([doc])
+        store = repro.ShreddedStore.create(repro.Database.memory(), schema)
+        store.load(doc)
+        engine = repro.PPFEngine(store)
+        assert len(engine.execute("//v[.>=1]")) == 2
+        oracle = repro.NativeEngine(doc)
+        assert len(oracle.execute("//v[.>=1]")) == 2
+        assert repro.evaluate_xpath(doc, "//v")[0].node_id == 2

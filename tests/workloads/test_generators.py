@@ -1,0 +1,157 @@
+"""Workload generator tests: determinism, scaling, query hooks."""
+
+import pytest
+
+from repro import infer_schema, serialize
+from repro.baselines.native import NativeEngine
+from repro.workloads import (
+    DBLP_QUERIES,
+    DBLPConfig,
+    XMarkConfig,
+    XPATHMARK_QUERIES,
+    generate_dblp,
+    generate_xmark,
+    xpathmark_query,
+)
+from repro.workloads.dblp import SPECIAL_AUTHOR
+from repro.workloads.xpathmark import COMMERCIAL_SUPPORTED
+
+
+class TestXMarkGenerator:
+    def test_deterministic(self):
+        a = generate_xmark(XMarkConfig(scale=0.5, seed=3))
+        b = generate_xmark(XMarkConfig(scale=0.5, seed=3))
+        assert serialize(a) == serialize(b)
+
+    def test_seed_changes_content(self):
+        a = generate_xmark(XMarkConfig(scale=0.5, seed=3))
+        b = generate_xmark(XMarkConfig(scale=0.5, seed=4))
+        assert serialize(a) != serialize(b)
+
+    def test_scaling_is_roughly_linear(self):
+        small = generate_xmark(XMarkConfig(scale=1.0)).element_count()
+        large = generate_xmark(XMarkConfig(scale=4.0)).element_count()
+        assert 2.5 < large / small < 6.0
+
+    def test_six_regions_with_items(self):
+        doc = generate_xmark(XMarkConfig(scale=0.5))
+        regions = doc.root.element_children[0]
+        assert regions.name == "regions"
+        assert [r.name for r in regions.element_children] == [
+            "africa", "asia", "australia", "europe", "namerica", "samerica",
+        ]
+        for region in regions.element_children:
+            assert all(i.name == "item" for i in region.element_children)
+
+    def test_item0_exists(self):
+        doc = generate_xmark(XMarkConfig(scale=0.5))
+        items = [
+            e for e in doc.iter_elements()
+            if e.name == "item" and e.get("id") == "item0"
+        ]
+        assert len(items) == 1
+
+    def test_open_auction0_has_bidders(self):
+        doc = generate_xmark(XMarkConfig(scale=0.5))
+        native = NativeEngine(doc)
+        bidders = native.execute(
+            "/site/open_auctions/open_auction[@id='open_auction0']/bidder"
+        )
+        assert len(bidders) >= 3
+
+    def test_qa_join_hook(self):
+        doc = generate_xmark(XMarkConfig(scale=1.0))
+        native = NativeEngine(doc)
+        matches = native.execute(
+            "/site/open_auctions/open_auction[bidder/date = interval/start]"
+        )
+        assert matches
+
+    def test_recursion_depth_bounded(self):
+        config = XMarkConfig(scale=1.0, max_nesting=2)
+        doc = generate_xmark(config)
+        for element in doc.iter_elements():
+            if element.name == "parlist":
+                depth = sum(
+                    1
+                    for a in _ancestors(element)
+                    if a.name == "parlist"
+                )
+                assert depth < config.max_nesting
+
+    def test_conforms_to_inferred_schema(self):
+        doc = generate_xmark(XMarkConfig(scale=0.5))
+        assert infer_schema([doc]).conforms(doc)
+
+
+def _ancestors(element):
+    current = element.parent
+    while current is not None:
+        yield current
+        current = current.parent
+
+
+class TestDBLPGenerator:
+    def test_deterministic(self):
+        a = generate_dblp(DBLPConfig(scale=0.5, seed=1))
+        b = generate_dblp(DBLPConfig(scale=0.5, seed=1))
+        assert serialize(a) == serialize(b)
+
+    def test_authors_precede_titles(self):
+        doc = generate_dblp(DBLPConfig(scale=0.5))
+        for entry in doc.root.element_children:
+            names = [c.name for c in entry.element_children]
+            assert names.index("author") < names.index("title")
+
+    def test_special_author_present(self):
+        doc = generate_dblp(DBLPConfig(scale=1.0))
+        authors = {
+            e.string_value
+            for e in doc.iter_elements()
+            if e.name == "author"
+        }
+        assert SPECIAL_AUTHOR in authors
+
+    def test_qd4_markup_shape_present(self):
+        doc = generate_dblp(DBLPConfig(scale=1.0))
+        native = NativeEngine(doc)
+        assert native.execute("//article/title/sub/sup/i")
+
+    def test_year_is_numeric(self):
+        doc = generate_dblp(DBLPConfig(scale=0.5))
+        schema = infer_schema([doc])
+        assert schema["year"].text_kind == "number"
+
+    def test_book_and_inproceedings_share_authors(self):
+        doc = generate_dblp(DBLPConfig(scale=1.0))
+        native = NativeEngine(doc)
+        joined = native.execute(
+            "/dblp/inproceedings[author=/dblp/book/author]"
+        )
+        assert joined
+
+
+class TestQuerySets:
+    def test_lookup_by_id(self):
+        assert xpathmark_query("Q5").xpath.startswith("/site/regions")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            xpathmark_query("Q99")
+
+    def test_query_ids_unique(self):
+        ids = [q.qid for q in XPATHMARK_QUERIES + DBLP_QUERIES]
+        assert len(ids) == len(set(ids))
+
+    def test_commercial_subset_matches_paper(self):
+        assert COMMERCIAL_SUPPORTED == {"Q23", "Q24", "QA"}
+
+    def test_all_queries_parse(self):
+        from repro import parse_xpath
+
+        for query in XPATHMARK_QUERIES + DBLP_QUERIES:
+            parse_xpath(query.xpath)
+
+    def test_supports_helper(self):
+        query = xpathmark_query("Q1")
+        assert query.supports("ppf")

@@ -1,0 +1,96 @@
+"""Serializer unit tests and parse/serialize round trips."""
+
+from repro import parse_document, serialize
+from repro.xmltree.builder import DocumentBuilder
+
+
+def equivalent(doc_a, doc_b) -> bool:
+    """Structural equality over elements, attributes and direct text."""
+    nodes_a = list(doc_a.iter_elements())
+    nodes_b = list(doc_b.iter_elements())
+    if len(nodes_a) != len(nodes_b):
+        return False
+    return all(
+        a.name == b.name
+        and a.attributes == b.attributes
+        and a.direct_text == b.direct_text
+        for a, b in zip(nodes_a, nodes_b)
+    )
+
+
+class TestSerialize:
+    def test_empty_element(self):
+        doc = parse_document("<a/>")
+        assert serialize(doc) == "<a/>"
+
+    def test_attributes_escaped(self):
+        doc = parse_document('<a t="&lt;&amp;&quot;"/>')
+        out = serialize(doc)
+        assert "&lt;" in out and "&amp;" in out and "&quot;" in out
+        assert equivalent(doc, parse_document(out))
+
+    def test_text_escaped(self):
+        doc = parse_document("<a>&amp;&lt;</a>")
+        out = serialize(doc)
+        assert out == "<a>&amp;&lt;</a>"
+
+    def test_declaration_flag(self):
+        doc = parse_document("<a/>")
+        assert serialize(doc, declaration=True).startswith("<?xml")
+
+    def test_pretty_indents_nested(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        lines = serialize(doc, pretty=True).splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1].startswith("  <b>")
+
+    def test_compact_single_line(self):
+        doc = parse_document("<a><b/><c/></a>")
+        assert "\n" not in serialize(doc, pretty=False)
+
+    def test_round_trip_mixed_content(self):
+        source = "<a>pre<b>in</b>post</a>"
+        doc = parse_document(source)
+        assert equivalent(doc, parse_document(serialize(doc, pretty=False)))
+
+    def test_round_trip_builder_document(self):
+        b = DocumentBuilder("site")
+        with b.element("regions"):
+            with b.element("namerica"):
+                b.leaf("item", "clock & <stand>", id="item0")
+        doc = b.finish()
+        again = parse_document(serialize(doc))
+        assert equivalent(doc, again)
+
+    def test_serialize_subtree(self):
+        doc = parse_document("<a><b k='1'>t</b></a>")
+        out = serialize(doc.root.element_children[0], pretty=False)
+        assert out == '<b k="1">t</b>'
+
+
+class TestBuilder:
+    def test_nested_blocks(self):
+        b = DocumentBuilder("a", version="2")
+        with b.element("b"):
+            b.leaf("c", "text", k="v")
+            b.text("tail")
+        doc = b.finish(name="built")
+        assert doc.name == "built"
+        assert doc.root.get("version") == "2"
+        b_el = doc.root.element_children[0]
+        assert b_el.element_children[0].direct_text == "text"
+        assert b_el.direct_text == "tail"
+
+    def test_unbalanced_detected(self):
+        import pytest
+
+        b = DocumentBuilder("a")
+        ctx = b.element("b")
+        ctx.__enter__()
+        with pytest.raises(RuntimeError):
+            b.finish()
+
+    def test_leaf_without_text_is_empty(self):
+        b = DocumentBuilder("a")
+        leaf = b.leaf("b")
+        assert leaf.children == []

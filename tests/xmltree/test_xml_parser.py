@@ -1,0 +1,161 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro import XMLParseError, parse_document, parse_fragment
+from repro.xmltree.nodes import ElementNode, TextNode
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse_document("<root/>")
+        assert doc.root.name == "root"
+        assert doc.root.children == []
+
+    def test_nested_elements(self):
+        doc = parse_document("<a><b><c/></b><d/></a>")
+        assert [e.name for e in doc.iter_elements()] == ["a", "b", "c", "d"]
+
+    def test_text_content(self):
+        doc = parse_document("<a>hello world</a>")
+        assert doc.root.direct_text == "hello world"
+
+    def test_mixed_content_order(self):
+        doc = parse_document("<a>one<b/>two<c/>three</a>")
+        kinds = [
+            child.value if isinstance(child, TextNode) else child.name
+            for child in doc.root.children
+        ]
+        assert kinds == ["one", "b", "two", "c", "three"]
+
+    def test_attributes_double_and_single_quotes(self):
+        doc = parse_document("""<a x="1" y='two'/>""")
+        assert doc.root.attributes == {"x": "1", "y": "two"}
+
+    def test_attribute_with_spaces_around_equals(self):
+        doc = parse_document("<a x = '1'/>")
+        assert doc.root.get("x") == "1"
+
+    def test_self_closing_with_attributes(self):
+        doc = parse_document("<a><b k='v'/></a>")
+        assert doc.root.element_children[0].get("k") == "v"
+
+    def test_names_with_dots_dashes_colons(self):
+        doc = parse_document("<ns:a-b.c><x_1/></ns:a-b.c>")
+        assert doc.root.name == "ns:a-b.c"
+        assert doc.root.element_children[0].name == "x_1"
+
+    def test_document_name_label(self):
+        doc = parse_document("<a/>", name="mydoc")
+        assert doc.name == "mydoc"
+
+
+class TestProlog:
+    def test_xml_declaration(self):
+        doc = parse_document("<?xml version='1.0' encoding='UTF-8'?><a/>")
+        assert doc.root.name == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse_document("<!DOCTYPE a SYSTEM 'x.dtd'><a/>")
+        assert doc.root.name == "a"
+
+    def test_doctype_with_internal_subset(self):
+        doc = parse_document("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+        assert doc.root.name == "a"
+
+    def test_leading_comment(self):
+        doc = parse_document("<!-- hi --><a/>")
+        assert doc.root.name == "a"
+
+    def test_trailing_comment(self):
+        doc = parse_document("<a/><!-- bye -->")
+        assert doc.root.name == "a"
+
+
+class TestEntitiesAndCData:
+    def test_predefined_entities(self):
+        doc = parse_document("<a>&lt;&amp;&gt;&quot;&apos;</a>")
+        assert doc.root.direct_text == "<&>\"'"
+
+    def test_decimal_character_reference(self):
+        doc = parse_document("<a>&#65;</a>")
+        assert doc.root.direct_text == "A"
+
+    def test_hex_character_reference(self):
+        doc = parse_document("<a>&#x41;&#x3B1;</a>")
+        assert doc.root.direct_text == "Aα"
+
+    def test_entities_in_attributes(self):
+        doc = parse_document("<a t='&amp;&#33;'/>")
+        assert doc.root.get("t") == "&!"
+
+    def test_cdata_section(self):
+        doc = parse_document("<a><![CDATA[<not> & parsed]]></a>")
+        assert doc.root.direct_text == "<not> & parsed"
+
+    def test_comment_inside_content(self):
+        doc = parse_document("<a>x<!-- note -->y</a>")
+        assert doc.root.direct_text == "xy"
+
+    def test_processing_instruction_inside_content(self):
+        doc = parse_document("<a>x<?pi data?>y</a>")
+        assert doc.root.direct_text == "xy"
+
+
+class TestWhitespace:
+    def test_whitespace_only_text_dropped_by_default(self):
+        doc = parse_document("<a>\n  <b/>\n</a>")
+        assert all(isinstance(c, ElementNode) for c in doc.root.children)
+
+    def test_whitespace_kept_when_requested(self):
+        doc = parse_document("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert any(isinstance(c, TextNode) for c in doc.root.children)
+
+    def test_significant_whitespace_preserved(self):
+        doc = parse_document("<a> x </a>")
+        assert doc.root.direct_text == " x "
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "markup",
+        [
+            "<a>",  # unclosed
+            "<a></b>",  # mismatched
+            "<a",  # truncated tag
+            "<a x></a>",  # attribute without value
+            "<a x=1></a>",  # unquoted value
+            "<a x='1' x='2'/>",  # duplicate attribute
+            "<a>&unknown;</a>",  # unknown entity
+            "<a>&#xZZ;</a>",  # bad char ref
+            "<a>& bare</a>",  # unterminated reference
+            "<a/><b/>",  # two roots
+            "",  # empty input
+            "just text",  # no element
+            "<a><!-- unterminated</a>",
+            "<a><![CDATA[open</a>",
+        ],
+    )
+    def test_malformed_raises(self, markup):
+        with pytest.raises(XMLParseError):
+            parse_document(markup)
+
+    def test_error_carries_location(self):
+        try:
+            parse_document("<a>\n<b></c></a>")
+        except XMLParseError as exc:
+            assert exc.line == 2
+            assert exc.column > 0
+        else:  # pragma: no cover
+            pytest.fail("expected a parse error")
+
+
+class TestFragment:
+    def test_parse_fragment_returns_unindexed_element(self):
+        element = parse_fragment("<a><b/></a>")
+        assert isinstance(element, ElementNode)
+        assert element.node_id == 0  # not indexed yet
+
+    def test_fragment_rejects_trailing_garbage(self):
+        with pytest.raises(XMLParseError):
+            parse_fragment("<a/>garbage")

@@ -1,0 +1,55 @@
+"""Axis classification tests (the PPF Definition's case analysis)."""
+
+import pytest
+
+from repro.xpath.axes import AXIS_BY_NAME, Axis
+
+
+class TestClassification:
+    def test_path_forward_axes(self):
+        assert {a for a in Axis if a.is_path_forward} == {
+            Axis.CHILD,
+            Axis.DESCENDANT,
+            Axis.DESCENDANT_OR_SELF,
+            Axis.SELF,
+        }
+
+    def test_path_backward_axes(self):
+        assert {a for a in Axis if a.is_path_backward} == {
+            Axis.PARENT,
+            Axis.ANCESTOR,
+            Axis.ANCESTOR_OR_SELF,
+        }
+
+    def test_order_axes(self):
+        assert {a for a in Axis if a.is_order_axis} == {
+            Axis.FOLLOWING,
+            Axis.FOLLOWING_SIBLING,
+            Axis.PRECEDING,
+            Axis.PRECEDING_SIBLING,
+        }
+
+    def test_classes_partition_the_element_axes(self):
+        for axis in Axis:
+            if axis is Axis.ATTRIBUTE:
+                continue
+            classes = [
+                axis.is_path_forward,
+                axis.is_path_backward,
+                axis.is_order_axis,
+            ]
+            assert sum(classes) == 1, axis
+
+    def test_forward_flag_matches_w3c(self):
+        forward = {a for a in Axis if a.is_forward}
+        assert Axis.FOLLOWING in forward
+        assert Axis.ATTRIBUTE in forward
+        assert Axis.PRECEDING not in forward
+        assert Axis.ANCESTOR not in forward
+
+    def test_lookup_table_covers_all(self):
+        assert set(AXIS_BY_NAME.values()) == set(Axis)
+        assert AXIS_BY_NAME["following-sibling"] is Axis.FOLLOWING_SIBLING
+
+    def test_str(self):
+        assert str(Axis.DESCENDANT_OR_SELF) == "descendant-or-self"

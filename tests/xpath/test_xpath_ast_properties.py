@@ -1,0 +1,108 @@
+"""Property test: parse∘str is a fixpoint for the XPath AST.
+
+Random expressions are rendered from randomly built ASTs, parsed, and
+re-rendered; the second render must equal the first (i.e. rendering is a
+canonical form)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import parse_xpath
+from repro.xpath.ast import (
+    AndExpr,
+    Comparison,
+    LocationPath,
+    NameTest,
+    NotExpr,
+    NumberLiteral,
+    OrExpr,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+)
+from repro.xpath.axes import Axis
+
+_NAMES = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+_AXES = st.sampled_from(
+    [
+        Axis.CHILD,
+        Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.FOLLOWING,
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING,
+        Axis.PRECEDING_SIBLING,
+    ]
+)
+
+
+@st.composite
+def steps(draw, allow_predicates=True):
+    axis = draw(_AXES)
+    name = draw(st.one_of(_NAMES, st.just("*")))
+    predicates = []
+    if allow_predicates and draw(st.booleans()):
+        predicates.append(draw(predicates_strategy()))
+    return Step(axis, NameTest(name), predicates)
+
+
+@st.composite
+def location_paths(draw, allow_predicates=True):
+    absolute = draw(st.booleans())
+    count = draw(st.integers(1, 3))
+    built = [draw(steps(allow_predicates)) for _ in range(count)]
+    return LocationPath(absolute, built)
+
+
+@st.composite
+def predicates_strategy(draw):
+    kind = draw(st.sampled_from(["path", "cmp", "and", "or", "not"]))
+    if kind == "path":
+        return PathExpr(draw(location_paths(allow_predicates=False)))
+    if kind == "cmp":
+        left = PathExpr(draw(location_paths(allow_predicates=False)))
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        right = draw(
+            st.one_of(
+                st.integers(0, 99).map(lambda v: NumberLiteral(float(v))),
+                st.sampled_from(["x", "hello"]).map(StringLiteral),
+            )
+        )
+        return Comparison(left, op, right)
+    inner = PathExpr(draw(location_paths(allow_predicates=False)))
+    other = PathExpr(draw(location_paths(allow_predicates=False)))
+    if kind == "and":
+        return AndExpr(inner, other)
+    if kind == "or":
+        return OrExpr(inner, other)
+    return NotExpr(inner)
+
+
+@st.composite
+def expressions(draw):
+    branches = draw(st.integers(1, 3))
+    paths = [
+        PathExpr(draw(location_paths())) for _ in range(branches)
+    ]
+    if len(paths) == 1:
+        return paths[0]
+    return UnionExpr(paths)
+
+
+@given(expressions())
+@settings(max_examples=300, deadline=None)
+def test_render_parse_fixpoint(expr):
+    rendered = str(expr)
+    reparsed = parse_xpath(rendered)
+    assert str(reparsed) == rendered
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_reparse_is_stable(expr):
+    once = str(parse_xpath(str(expr)))
+    twice = str(parse_xpath(once))
+    assert once == twice

@@ -1,0 +1,95 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import Token, tokenize
+
+
+def kinds(expression):
+    return [(t.kind, t.value) for t in tokenize(expression)[:-1]]
+
+
+class TestTokenize:
+    def test_simple_path(self):
+        assert kinds("/a/b") == [
+            ("symbol", "/"),
+            ("name", "a"),
+            ("symbol", "/"),
+            ("name", "b"),
+        ]
+
+    def test_double_slash_wins_over_single(self):
+        assert kinds("//a")[0] == ("symbol", "//")
+
+    def test_axis_tokens(self):
+        assert kinds("preceding-sibling::b") == [
+            ("name", "preceding-sibling"),
+            ("symbol", "::"),
+            ("name", "b"),
+        ]
+
+    def test_comparison_operators(self):
+        assert [v for _, v in kinds("a!=b<=c>=d<e>f=g")] == [
+            "a", "!=", "b", "<=", "c", ">=", "d", "<", "e", ">", "f", "=", "g",
+        ]
+
+    def test_string_literals_both_quotes(self):
+        assert kinds("'one'") == [("literal", "one")]
+        assert kinds('"two"') == [("literal", "two")]
+
+    def test_literal_preserves_spaces(self):
+        assert kinds("'Harold G. Longbotham'") == [
+            ("literal", "Harold G. Longbotham")
+        ]
+
+    def test_numbers(self):
+        assert kinds("1994") == [("number", "1994")]
+        assert kinds("3.25") == [("number", "3.25")]
+
+    def test_predicate_brackets_and_at(self):
+        assert [v for _, v in kinds("a[@id]")] == ["a", "[", "@", "id", "]"]
+
+    def test_dots(self):
+        assert kinds("..") == [("symbol", "..")]
+        assert kinds(".") == [("symbol", ".")]
+
+    def test_union_and_paren(self):
+        assert [v for _, v in kinds("(a|b)")] == ["(", "a", "|", "b", ")"]
+
+    def test_whitespace_ignored(self):
+        assert kinds(" a  =  'x' ") == [
+            ("name", "a"),
+            ("symbol", "="),
+            ("literal", "x"),
+        ]
+
+    def test_end_token_present(self):
+        tokens = tokenize("a")
+        assert tokens[-1].kind == "end"
+
+    def test_unterminated_literal_raises(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")
+
+    def test_position_offsets(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestTokenHelpers:
+    def test_is_symbol(self):
+        token = Token("symbol", "/", 0)
+        assert token.is_symbol("/", "//")
+        assert not token.is_symbol("[")
+
+    def test_is_name_with_and_without_filter(self):
+        token = Token("name", "or", 0)
+        assert token.is_name()
+        assert token.is_name("or", "and")
+        assert not token.is_name("div")

@@ -1,0 +1,251 @@
+"""XPath parser unit tests: AST shapes, normalization, errors."""
+
+import pytest
+
+from repro import parse_xpath
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    AndExpr,
+    ArithmeticExpr,
+    Comparison,
+    FunctionCall,
+    NameTest,
+    NodeKindTest,
+    NotExpr,
+    NumberLiteral,
+    OrExpr,
+    PathExpr,
+    StringLiteral,
+    TextTest,
+    UnionExpr,
+)
+from repro.xpath.axes import Axis
+
+
+def path_of(expression):
+    ast = parse_xpath(expression)
+    assert isinstance(ast, PathExpr)
+    return ast.path
+
+
+class TestPaths:
+    def test_absolute_child_path(self):
+        path = path_of("/a/b/c")
+        assert path.absolute
+        assert [s.axis for s in path.steps] == [Axis.CHILD] * 3
+        assert [str(s.node_test) for s in path.steps] == ["a", "b", "c"]
+
+    def test_relative_path(self):
+        path = path_of("a/b")
+        assert not path.absolute
+
+    def test_double_slash_folds_to_descendant(self):
+        path = path_of("//k")
+        assert path.absolute
+        assert [s.axis for s in path.steps] == [Axis.DESCENDANT]
+
+    def test_inner_double_slash(self):
+        path = path_of("/a//b")
+        assert [s.axis for s in path.steps] == [Axis.CHILD, Axis.DESCENDANT]
+
+    def test_double_slash_before_explicit_axis_inserts_dos(self):
+        path = path_of("/a//following-sibling::b")
+        assert [s.axis for s in path.steps] == [
+            Axis.CHILD,
+            Axis.DESCENDANT_OR_SELF,
+            Axis.FOLLOWING_SIBLING,
+        ]
+        assert isinstance(path.steps[1].node_test, NodeKindTest)
+
+    def test_explicit_axes(self):
+        path = path_of(
+            "/descendant-or-self::listitem/descendant-or-self::keyword"
+        )
+        assert [s.axis for s in path.steps] == [
+            Axis.DESCENDANT_OR_SELF,
+            Axis.DESCENDANT_OR_SELF,
+        ]
+
+    def test_all_axes_parse(self):
+        for axis in Axis:
+            if axis is Axis.ATTRIBUTE:
+                expression = f"/a/attribute::x"
+            else:
+                expression = f"/a/{axis.value}::x"
+            path = path_of(expression)
+            assert path.steps[1].axis is axis
+
+    def test_abbreviations(self):
+        path = path_of("/a/../.")
+        assert path.steps[1].axis is Axis.PARENT
+        assert path.steps[2].axis is Axis.SELF
+
+    def test_attribute_abbreviation(self):
+        path = path_of("/a/@id")
+        assert path.steps[1].axis is Axis.ATTRIBUTE
+        assert str(path.steps[1].node_test) == "id"
+
+    def test_wildcard(self):
+        path = path_of("/a/*")
+        test = path.steps[1].node_test
+        assert isinstance(test, NameTest) and test.is_wildcard
+
+    def test_text_node_test(self):
+        path = path_of("/a/text()")
+        assert isinstance(path.steps[1].node_test, TextTest)
+
+    def test_node_kind_test(self):
+        path = path_of("/a/node()")
+        assert isinstance(path.steps[1].node_test, NodeKindTest)
+
+    def test_bare_root(self):
+        path = path_of("/")
+        assert path.absolute and path.steps == []
+
+
+class TestPredicates:
+    def test_attribute_comparison(self):
+        path = path_of("/a[@id='x']")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == "="
+        assert isinstance(predicate.right, StringLiteral)
+
+    def test_numeric_comparison(self):
+        predicate = path_of("/a[year>=1994]").steps[0].predicates[0]
+        assert predicate.op == ">="
+        assert isinstance(predicate.right, NumberLiteral)
+        assert predicate.right.value == 1994.0
+
+    def test_logical_nesting(self):
+        predicate = path_of(
+            "/p[address and (phone or homepage)]"
+        ).steps[0].predicates[0]
+        assert isinstance(predicate, AndExpr)
+        assert isinstance(predicate.right, OrExpr)
+
+    def test_not_function(self):
+        predicate = path_of("/p[not(homepage)]").steps[0].predicates[0]
+        assert isinstance(predicate, NotExpr)
+        assert isinstance(predicate.operand, PathExpr)
+
+    def test_path_to_path_comparison(self):
+        predicate = path_of(
+            "/a[bidder/date = interval/start]"
+        ).steps[0].predicates[0]
+        assert isinstance(predicate.left, PathExpr)
+        assert isinstance(predicate.right, PathExpr)
+
+    def test_absolute_path_in_predicate(self):
+        predicate = path_of(
+            "/a[author=/dblp/book/author]"
+        ).steps[0].predicates[0]
+        assert predicate.right.path.absolute
+
+    def test_multiple_predicates(self):
+        path = path_of("/a[@x][@y]")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_predicate_on_inner_step(self):
+        path = path_of("/a[@x]/b")
+        assert len(path.steps[0].predicates) == 1
+        assert len(path.steps[1].predicates) == 0
+
+    def test_union_in_predicate(self):
+        predicate = path_of("/a[b | c]").steps[0].predicates[0]
+        assert isinstance(predicate, UnionExpr)
+
+    def test_positional_number(self):
+        predicate = path_of("/a[2]").steps[0].predicates[0]
+        assert isinstance(predicate, NumberLiteral)
+
+    def test_position_function(self):
+        predicate = path_of("/a[position()=2]").steps[0].predicates[0]
+        assert isinstance(predicate.left, FunctionCall)
+        assert predicate.left.name == "position"
+
+
+class TestExpressions:
+    def test_union_top_level(self):
+        ast = parse_xpath("/a/b | /a/c | /d")
+        assert isinstance(ast, UnionExpr)
+        assert len(ast.branches) == 3
+
+    def test_arithmetic_precedence(self):
+        predicate = path_of("/a[b = 1 + 2 * 3]").steps[0].predicates[0]
+        right = predicate.right
+        assert isinstance(right, ArithmeticExpr)
+        assert right.op == "+"
+        assert isinstance(right.right, ArithmeticExpr)
+        assert right.right.op == "*"
+
+    def test_unary_minus(self):
+        predicate = path_of("/a[b = -1]").steps[0].predicates[0]
+        assert isinstance(predicate.right, ArithmeticExpr)
+
+    def test_div_mod_keywords(self):
+        predicate = path_of("/a[b div 2 = c mod 3]").steps[0].predicates[0]
+        assert predicate.left.op == "div"
+        assert predicate.right.op == "mod"
+
+    def test_and_or_precedence(self):
+        predicate = path_of("/a[x or y and z]").steps[0].predicates[0]
+        assert isinstance(predicate, OrExpr)
+        assert isinstance(predicate.right, AndExpr)
+
+    def test_functions(self):
+        predicate = path_of("/a[contains(b, 'x')]").steps[0].predicates[0]
+        assert isinstance(predicate, FunctionCall)
+        assert predicate.name == "contains"
+
+    def test_count_function(self):
+        predicate = path_of("/a[count(b) > 2]").steps[0].predicates[0]
+        assert predicate.left.name == "count"
+
+    def test_round_trip_rendering(self):
+        for expression in [
+            "/site/regions/*/item",
+            "//keyword/ancestor::listitem",
+            "/a[@x = 3]/b",
+            "/a/b | /c",
+        ]:
+            rendered = str(parse_xpath(expression))
+            assert str(parse_xpath(rendered)) == rendered
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "",
+            "/a[",
+            "/a]",
+            "/a[]",
+            "/a/",
+            "//",
+            "a b",
+            "/a[@]",
+            "/a[b=]",
+            "/unknownaxis::b/c" + "::",
+            "not()",
+            "position(1)",
+            "frobnicate(a)",
+            "/a[(b]",
+            "'lone literal' extra",
+        ],
+    )
+    def test_malformed_raises(self, expression):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(expression)
+
+    def test_unknown_axis_message(self):
+        with pytest.raises(XPathSyntaxError, match="unknown axis"):
+            parse_xpath("/a/sideways::b")
+
+    def test_error_carries_offset(self):
+        try:
+            parse_xpath("/a[@id=]")
+        except XPathSyntaxError as exc:
+            assert exc.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
