@@ -25,9 +25,14 @@ Quickstart::
 
 from repro.errors import (
     DeweyError,
+    QueryCancelledError,
+    QueryLimitError,
+    QueryTimeoutError,
     ReproError,
+    RetryExhaustedError,
     SchemaError,
     StorageError,
+    StoreIntegrityError,
     TranslationError,
     UnsupportedXPathError,
     XMLParseError,
@@ -72,6 +77,11 @@ from repro.baselines import (
     NativeEngine,
     evaluate_xpath,
 )
+from repro.resilience import (
+    FaultInjectingDatabase,
+    FaultPlan,
+    ResiliencePolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -85,19 +95,27 @@ __all__ = [
     "EdgePPFEngine",
     "EdgeStore",
     "ElementNode",
+    "FaultInjectingDatabase",
+    "FaultPlan",
     "NaiveEngine",
     "NativeEngine",
     "PPFEngine",
     "PPFTranslator",
     "PathClass",
     "PathIndex",
+    "QueryCancelledError",
+    "QueryLimitError",
     "QueryResult",
+    "QueryTimeoutError",
     "ReproError",
+    "ResiliencePolicy",
+    "RetryExhaustedError",
     "Schema",
     "SchemaError",
     "SchemaMarking",
     "ShreddedStore",
     "StorageError",
+    "StoreIntegrityError",
     "TextNode",
     "TranslationError",
     "TranslationResult",

@@ -20,14 +20,17 @@ import sys
 
 from repro.core.engine import PPFEngine
 from repro.errors import ReproError
+from repro.resilience.policy import ResiliencePolicy
 from repro.schema.inference import infer_schema
 from repro.storage.database import Database
 from repro.storage.schema_aware import ShreddedStore
 from repro.xmltree.parser import parse_document
 
 
-def _open_store(path: str) -> ShreddedStore:
-    return ShreddedStore.open(Database.open(path))
+def _open_store(
+    path: str, policy: ResiliencePolicy | None = None
+) -> ShreddedStore:
+    return ShreddedStore.open(Database.open(path, policy=policy))
 
 
 def _load_schema(path: str):
@@ -67,7 +70,10 @@ def cmd_shred(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query`` — run an XPath query and print the results."""
-    store = _open_store(args.database)
+    policy = ResiliencePolicy(
+        query_timeout=args.query_timeout, max_rows=args.max_rows
+    )
+    store = _open_store(args.database, policy)
     engine = PPFEngine(store)
     result = engine.execute(args.xpath)
     for row in result:
@@ -76,7 +82,10 @@ def cmd_query(args: argparse.Namespace) -> int:
             print(f"doc={doc_id} node={node_id}")
         else:
             print(row.value)
-    print(f"-- {len(result)} result(s)", file=sys.stderr)
+    print(
+        f"-- {len(result)} result(s) via {result.served_by}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -164,6 +173,20 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="run an XPath query")
     query.add_argument("database")
     query.add_argument("xpath")
+    query.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort the query after this much wall-clock time",
+    )
+    query.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the query once it produces more than N rows",
+    )
     query.set_defaults(handler=cmd_query)
 
     explain = commands.add_parser("explain", help="show the generated SQL")

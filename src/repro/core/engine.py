@@ -14,14 +14,19 @@ schema-oblivious variant sharing the identical translation algorithm.
 
 from __future__ import annotations
 
+from collections import OrderedDict, namedtuple
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 from repro.core.adapters import EdgeAdapter, SchemaAwareAdapter
 from repro.core.translator import PPFTranslator, TranslationResult
+from repro.errors import QueryTimeoutError, ReproError, RetryExhaustedError
 from repro.storage.edge import EdgeStore
 from repro.storage.schema_aware import ShreddedStore
 from repro.xpath.ast import XPathExpr
+
+#: Hit/miss statistics of the per-engine translation cache.
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 
 
 @dataclass(frozen=True)
@@ -37,10 +42,17 @@ class ResultRow:
 class QueryResult:
     """Document-ordered result of one query."""
 
-    def __init__(self, rows: list[ResultRow], projection: str):
+    def __init__(
+        self, rows: list[ResultRow], projection: str, served_by: str = "sql"
+    ):
         self.rows = rows
         #: ``nodes``, ``text`` or ``attribute``.
         self.projection = projection
+        #: Which execution path produced the rows: ``"sql"`` (the
+        #: translated statement ran on the store) or ``"native"`` (the
+        #: in-memory evaluator answered after SQL execution timed out or
+        #: exhausted its retries).
+        self.served_by = served_by
 
     @property
     def ids(self) -> list[int]:
@@ -66,29 +78,63 @@ class QueryResult:
 class SQLXPathEngine:
     """Base engine: translate, execute, wrap rows.
 
-    Translations are cached per expression string — they depend only on
-    the schema (static for a store's lifetime), so repeated queries skip
-    the translation pass entirely.
+    Translations are cached per expression string with true LRU
+    eviction — they depend only on the schema (static for a store's
+    lifetime), so repeated queries skip the translation pass entirely.
+
+    With ``fallback=True``, :meth:`execute` degrades gracefully: when
+    SQL execution times out (:class:`QueryTimeoutError`) or exhausts its
+    transient-error retries (:class:`RetryExhaustedError`), the query is
+    re-evaluated by the native in-memory engine over the store's
+    resident documents, and the result reports ``served_by ==
+    "native"``.  The fallback declines (and the original error
+    propagates) when the store cannot guarantee its in-memory documents
+    mirror the database.
     """
 
     _CACHE_LIMIT = 256
 
-    def __init__(self, store, translator: PPFTranslator):
+    def __init__(self, store, translator: PPFTranslator,
+                 fallback: bool = False):
         self.store = store
         self.translator = translator
-        self._translation_cache: dict[str, TranslationResult] = {}
+        self.fallback = fallback
+        self._translation_cache: OrderedDict[str, TranslationResult] = (
+            OrderedDict()
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def translate(self, expression: Union[str, XPathExpr]) -> TranslationResult:
         """Translate without executing (cached for string expressions)."""
         if not isinstance(expression, str):
             return self.translator.translate(expression)
         cached = self._translation_cache.get(expression)
-        if cached is None:
-            cached = self.translator.translate(expression)
-            if len(self._translation_cache) >= self._CACHE_LIMIT:
-                self._translation_cache.clear()
-            self._translation_cache[expression] = cached
+        if cached is not None:
+            self._cache_hits += 1
+            self._translation_cache.move_to_end(expression)
+            return cached
+        self._cache_misses += 1
+        cached = self.translator.translate(expression)
+        self._translation_cache[expression] = cached
+        while len(self._translation_cache) > self._CACHE_LIMIT:
+            self._translation_cache.popitem(last=False)
         return cached
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the translation cache."""
+        return CacheInfo(
+            self._cache_hits,
+            self._cache_misses,
+            self._CACHE_LIMIT,
+            len(self._translation_cache),
+        )
+
+    def cache_clear(self) -> None:
+        """Drop all cached translations and reset the counters."""
+        self._translation_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def explain(self, expression: Union[str, XPathExpr]) -> str:
         """The SQL text for ``expression``."""
@@ -122,11 +168,27 @@ class SQLXPathEngine:
             )
 
     def execute(self, expression: Union[str, XPathExpr]) -> QueryResult:
-        """Translate and run ``expression`` against the store."""
+        """Translate and run ``expression`` against the store.
+
+        Runs under the store connection's resilience policy (query
+        timeout / row cap); with :attr:`fallback` enabled, a timed-out
+        or retry-exhausted SQL execution is answered by the native
+        evaluator instead (``result.served_by == "native"``).
+        """
         translation = self.translate(expression)
         if translation.is_empty:
             return QueryResult([], translation.projection)
-        raw = self.store.db.query(translation.sql)
+        try:
+            raw = self.store.db.guarded_query(translation.sql)
+        except (QueryTimeoutError, RetryExhaustedError):
+            if not self.fallback:
+                raise
+            fallback_result = self._execute_fallback(
+                expression, translation.projection
+            )
+            if fallback_result is None:
+                raise
+            return fallback_result
         rows = []
         for record in raw:
             if translation.projection == "nodes":
@@ -152,6 +214,55 @@ class SQLXPathEngine:
         )
         return QueryResult(ordered, translation.projection)
 
+    # -- graceful degradation ---------------------------------------------------
+
+    def _execute_fallback(
+        self, expression: Union[str, XPathExpr], projection: str
+    ) -> Optional[QueryResult]:
+        """Answer ``expression`` with the native evaluator, or ``None``
+        when the store's in-memory documents cannot vouch for the stored
+        data (partially resident or modified since loading)."""
+        resident = getattr(self.store, "resident_documents", None)
+        documents = resident() if resident is not None else None
+        if not documents:
+            return None
+        # Imported lazily: repro.baselines pulls in the SQL baselines,
+        # which would cycle back into repro.core at import time.
+        from repro.baselines.native import NativeEngine
+        from repro.dewey import encode
+        from repro.xmltree.nodes import AttributeNode, ElementNode, TextNode
+
+        rows: list[ResultRow] = []
+        for doc_id, (document, base) in documents.items():
+            try:
+                nodes = NativeEngine(document).execute(expression)
+            except ReproError:
+                return None
+            for node in nodes:
+                if isinstance(node, ElementNode):
+                    owner, value = node, None
+                elif isinstance(node, TextNode):
+                    owner, value = node.parent, node.value
+                elif isinstance(node, AttributeNode):
+                    owner, value = node.owner, node.value
+                else:  # pragma: no cover - defensive
+                    return None
+                rows.append(
+                    ResultRow(
+                        base + owner.node_id,
+                        doc_id,
+                        encode(owner.dewey),
+                        value=value,
+                    )
+                )
+        unique: dict[int, ResultRow] = {}
+        for row in rows:
+            unique.setdefault(row.id, row)
+        ordered = sorted(
+            unique.values(), key=lambda r: (r.doc_id, r.dewey_pos)
+        )
+        return QueryResult(ordered, projection, served_by="native")
+
 
 class PPFEngine(SQLXPathEngine):
     """PPF-based processing over the schema-aware mapping (the paper's
@@ -162,6 +273,9 @@ class PPFEngine(SQLXPathEngine):
         redundant `Paths` joins (the paper's default).
     :param prefer_fk_joins: Section 4.2 — foreign-key equijoins for
         single-step child/parent PPFs (the paper's default).
+    :param fallback: degrade to the native evaluator when SQL execution
+        times out or exhausts its retries (requires the store's
+        documents to be resident in memory).
     """
 
     def __init__(
@@ -169,12 +283,15 @@ class PPFEngine(SQLXPathEngine):
         store: ShreddedStore,
         path_filter_optimization: bool = True,
         prefer_fk_joins: bool = True,
+        fallback: bool = False,
     ):
         adapter = SchemaAwareAdapter(
             store, path_filter_optimization=path_filter_optimization
         )
         super().__init__(
-            store, PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins)
+            store,
+            PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins),
+            fallback=fallback,
         )
 
 
@@ -182,8 +299,15 @@ class EdgePPFEngine(SQLXPathEngine):
     """PPF-based processing over the schema-oblivious Edge mapping
     (the `Edge-like PPF` competitor of Figures 3–4)."""
 
-    def __init__(self, store: EdgeStore, prefer_fk_joins: bool = True):
+    def __init__(
+        self,
+        store: EdgeStore,
+        prefer_fk_joins: bool = True,
+        fallback: bool = False,
+    ):
         adapter = EdgeAdapter(store)
         super().__init__(
-            store, PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins)
+            store,
+            PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins),
+            fallback=fallback,
         )

@@ -47,8 +47,55 @@ class SchemaError(ReproError):
     conform to the schema they are being loaded against."""
 
 
+#: Longest SQL excerpt embedded in a :class:`StorageError` message; the
+#: complete statement stays available on the ``sql`` attribute.
+SQL_PREVIEW_LIMIT = 2048
+
+
 class StorageError(ReproError):
-    """Raised for shredding/loading failures and malformed store state."""
+    """Raised for shredding/loading failures and malformed store state.
+
+    When the failure concerns a specific statement, the full SQL text is
+    kept on :attr:`sql` while the rendered message embeds at most
+    :data:`SQL_PREVIEW_LIMIT` characters of it — a multi-branch UNION
+    query must not turn into a megabyte exception string.
+    """
+
+    def __init__(self, message: str, *, sql: str | None = None):
+        self.sql = sql
+        if sql:
+            if len(sql) > SQL_PREVIEW_LIMIT:
+                shown = (
+                    sql[:SQL_PREVIEW_LIMIT]
+                    + f"\n... [truncated, {len(sql)} characters total]"
+                )
+            else:
+                shown = sql
+            message = f"{message}\nSQL was:\n{shown}"
+        super().__init__(message)
+
+
+class QueryTimeoutError(StorageError):
+    """Raised when a query exceeds its wall-clock time limit."""
+
+
+class QueryLimitError(StorageError):
+    """Raised when a query produces more rows than its configured cap."""
+
+
+class QueryCancelledError(StorageError):
+    """Raised in the executing thread when :meth:`Database.cancel`
+    interrupts a running query."""
+
+
+class RetryExhaustedError(StorageError):
+    """Raised when transient errors (``SQLITE_BUSY`` and friends) persist
+    beyond the retry budget of the active resilience policy."""
+
+
+class StoreIntegrityError(StorageError):
+    """Raised when the post-load integrity check finds orphan rows,
+    dangling ``path_id`` references or out-of-order Dewey positions."""
 
 
 class TranslationError(ReproError):

@@ -1,0 +1,49 @@
+"""Resilience layer: query guards, retry/backoff, transactional-load
+integrity checks and deterministic fault injection.
+
+* :class:`ResiliencePolicy` — the limits/retry knobs of one connection,
+* :func:`run_with_retry` / :func:`is_transient` / :func:`backoff_delay` —
+  exponential backoff with jitter for ``SQLITE_BUSY``-style errors,
+* :class:`QueryGuard` — progress-handler wall-clock guard,
+* :func:`check_document_load` / :func:`check_referential_integrity` —
+  shred-time invariants,
+* :class:`FaultInjectingDatabase` / :class:`FaultPlan` — seeded fault
+  schedules for the ``tests/resilience`` suite (imported lazily: the
+  fault layer subclasses :class:`repro.storage.database.Database`, which
+  itself builds on this package).
+"""
+
+from repro.resilience.guards import QueryGuard
+from repro.resilience.integrity import (
+    IntegrityIssue,
+    check_document_load,
+    check_referential_integrity,
+)
+from repro.resilience.policy import DEFAULT_POLICY, ResiliencePolicy
+from repro.resilience.retry import backoff_delay, is_transient, run_with_retry
+
+_LAZY = ("FaultInjectingDatabase", "FaultPlan", "FaultSpec")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.resilience import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "FaultInjectingDatabase",
+    "FaultPlan",
+    "FaultSpec",
+    "IntegrityIssue",
+    "QueryGuard",
+    "ResiliencePolicy",
+    "backoff_delay",
+    "check_document_load",
+    "check_referential_integrity",
+    "is_transient",
+    "run_with_retry",
+]

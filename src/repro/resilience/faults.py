@@ -1,0 +1,170 @@
+"""Deterministic fault injection for the resilience test suite.
+
+:class:`FaultInjectingDatabase` is a drop-in :class:`Database` whose raw
+statement execution consults a :class:`FaultPlan` first.  A plan combines
+
+* **scripted faults** — "the next 2 statements matching ``INSERT INTO
+  item`` fail with ``database is locked``" — for precise scenarios, and
+* **seeded background rates** — every statement draws from one
+  ``random.Random(seed)`` stream, so a run is exactly reproducible.
+
+Faults fire *below* the retry/guard machinery (inside ``_raw_execute``),
+which is the whole point: the tests prove that retry, rollback and
+timeout handling in the layers above actually engage.  Transaction
+control statements (SAVEPOINT / ROLLBACK / RELEASE / COMMIT / PRAGMA)
+are never faulted so a rollback path can always complete.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.resilience.policy import ResiliencePolicy
+from repro.storage.database import Database
+
+#: Statements that must stay reliable for recovery to work.
+_CONTROL_PREFIXES = (
+    "SAVEPOINT",
+    "ROLLBACK",
+    "RELEASE",
+    "COMMIT",
+    "BEGIN",
+    "END",
+    "PRAGMA",
+)
+
+
+@dataclass
+class FaultSpec:
+    """One scripted fault."""
+
+    #: ``"busy"`` (transient lock error), ``"error"`` (permanent
+    #: operational error) or ``"delay"`` (sleep before executing).
+    kind: str
+    #: SQL substring filter; the empty string matches every statement.
+    match: str = ""
+    #: Remaining firings.
+    times: int = 1
+    #: Sleep duration for ``"delay"`` faults, in seconds.
+    seconds: float = 0.0
+    #: Error text for ``"error"`` faults.
+    message: str = "disk I/O error"
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, reproducible schedule of faults."""
+
+    seed: int = 0
+    #: Background probabilities per statement, applied after scripted
+    #: faults are exhausted.
+    busy_rate: float = 0.0
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.01
+    #: Log of every injected fault as ``(kind, sql)`` pairs.
+    injected: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._scripted: list[FaultSpec] = []
+
+    def script(
+        self,
+        kind: str,
+        *,
+        match: str = "",
+        times: int = 1,
+        seconds: float = 0.0,
+        message: str = "disk I/O error",
+    ) -> "FaultPlan":
+        """Queue a scripted fault; returns ``self`` for chaining."""
+        self._scripted.append(
+            FaultSpec(kind, match=match, times=times,
+                      seconds=seconds, message=message)
+        )
+        return self
+
+    def draw(self, sql: str) -> FaultSpec | None:
+        """The fault to inject for ``sql``, if any."""
+        for spec in self._scripted:
+            if spec.times > 0 and spec.match in sql:
+                spec.times -= 1
+                self.injected.append((spec.kind, sql))
+                return spec
+        roll = self._rng.random()
+        threshold = 0.0
+        for kind, rate in (
+            ("busy", self.busy_rate),
+            ("error", self.error_rate),
+            ("delay", self.delay_rate),
+        ):
+            threshold += rate
+            if rate and roll < threshold:
+                self.injected.append((kind, sql))
+                return FaultSpec(kind, seconds=self.delay_seconds)
+        return None
+
+    def injected_kinds(self) -> list[str]:
+        """Just the kinds of the injected faults, in firing order."""
+        return [kind for kind, _ in self.injected]
+
+
+class FaultInjectingDatabase(Database):
+    """A :class:`Database` whose raw execution layer injects faults."""
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        plan: FaultPlan,
+        policy: ResiliencePolicy | None = None,
+    ):
+        super().__init__(connection, policy=policy)
+        self.plan = plan
+
+    @classmethod
+    def memory(
+        cls,
+        plan: FaultPlan | None = None,
+        policy: ResiliencePolicy | None = None,
+        check_same_thread: bool = True,
+    ) -> "FaultInjectingDatabase":
+        """A fresh in-memory fault-injecting database."""
+        return cls(
+            sqlite3.connect(":memory:", check_same_thread=check_same_thread),
+            plan if plan is not None else FaultPlan(),
+            policy=policy,
+        )
+
+    # -- fault insertion point ---------------------------------------------------
+
+    def _maybe_inject(self, sql: str) -> None:
+        if sql.lstrip().upper().startswith(_CONTROL_PREFIXES):
+            return
+        fault = self.plan.draw(sql)
+        if fault is None:
+            return
+        if fault.kind == "delay":
+            time.sleep(fault.seconds)
+        elif fault.kind == "busy":
+            raise sqlite3.OperationalError("database is locked")
+        elif fault.kind == "error":
+            raise sqlite3.OperationalError(fault.message)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+    def _raw_execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        self._maybe_inject(sql)
+        return super()._raw_execute(sql, params)
+
+    def _raw_executemany(self, sql: str, rows: Iterable[Sequence]):
+        self._maybe_inject(sql)
+        return super()._raw_executemany(sql, rows)
+
+    def _raw_executescript(self, script: str):
+        self._maybe_inject(script)
+        return super()._raw_executescript(script)

@@ -1,0 +1,160 @@
+"""Post-load integrity verification for shredded stores.
+
+After a document's rows are written (but before the enclosing savepoint
+is released) the loader verifies the invariants every later query relies
+on:
+
+* **count** — the number of rows written equals the document's element
+  count,
+* **parents** — every non-root ``par_id`` references an element row of
+  the same document (no orphan subtrees),
+* **paths** — every ``path_id`` resolves in the `Paths` relation (no
+  dangling foreign keys),
+* **Dewey order** — within the freshly loaded id range, Dewey positions
+  are strictly increasing with the preorder element id; both encode
+  document order, so any divergence means a corrupted shred.
+
+A failed check raises inside the savepoint, which rolls the whole load
+back — the store is left byte-identical to its pre-load state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class IntegrityIssue:
+    """One violated invariant."""
+
+    kind: str  # "count-mismatch" | "orphan-parent" | "dangling-path" | "dewey-order"
+    table: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"[{self.kind}] {self.table}: {self.detail}"
+
+
+def check_document_load(
+    db,
+    tables: Sequence[str],
+    doc_id: int,
+    base: int,
+    count: int,
+) -> list[IntegrityIssue]:
+    """Verify one just-loaded document across its mapping relations.
+
+    ``tables`` are the element relations of the store (the schema-aware
+    mapping's tables, or ``["edge"]``); ``base``/``count`` delimit the
+    contiguous global-id range the load assigned.
+    """
+    issues: list[IntegrityIssue] = []
+    ids_union = " UNION ALL ".join(
+        f"SELECT id FROM {table} WHERE doc_id = ?" for table in tables
+    )
+    doc_params = tuple(doc_id for _ in tables)
+
+    total = 0
+    for table in tables:
+        row = db.query_one(
+            f"SELECT COUNT(*) FROM {table} WHERE doc_id = ?", (doc_id,)
+        )
+        total += int(row[0])
+    if total != count:
+        issues.append(
+            IntegrityIssue(
+                "count-mismatch",
+                "+".join(tables),
+                f"expected {count} element rows for doc {doc_id}, found {total}",
+            )
+        )
+
+    for table in tables:
+        orphans = db.query_one(
+            f"SELECT COUNT(*) FROM {table} WHERE doc_id = ? "
+            f"AND par_id IS NOT NULL AND par_id NOT IN ({ids_union})",
+            (doc_id, *doc_params),
+        )
+        if orphans[0]:
+            issues.append(
+                IntegrityIssue(
+                    "orphan-parent",
+                    table,
+                    f"{orphans[0]} row(s) reference a missing parent",
+                )
+            )
+        dangling = db.query_one(
+            f"SELECT COUNT(*) FROM {table} WHERE doc_id = ? "
+            f"AND path_id NOT IN (SELECT id FROM paths)",
+            (doc_id,),
+        )
+        if dangling[0]:
+            issues.append(
+                IntegrityIssue(
+                    "dangling-path",
+                    table,
+                    f"{dangling[0]} row(s) carry an unknown path_id",
+                )
+            )
+
+    # Dewey order vs. preorder id, restricted to the fresh id range so
+    # later subtree appends (which legitimately break global id order)
+    # never trip the check.
+    pairs: list[tuple[int, bytes]] = []
+    for table in tables:
+        pairs.extend(
+            (int(row_id), bytes(dewey))
+            for row_id, dewey in db.query(
+                f"SELECT id, dewey_pos FROM {table} "
+                f"WHERE doc_id = ? AND id >= ? AND id < ?",
+                (doc_id, base, base + count),
+            )
+        )
+    pairs.sort()
+    for (prev_id, prev_dewey), (next_id, next_dewey) in zip(pairs, pairs[1:]):
+        if next_dewey <= prev_dewey:
+            issues.append(
+                IntegrityIssue(
+                    "dewey-order",
+                    "+".join(tables),
+                    f"dewey_pos of id {next_id} does not follow id {prev_id}",
+                )
+            )
+            break
+    return issues
+
+
+def check_referential_integrity(db, tables: Sequence[str]) -> list[IntegrityIssue]:
+    """Store-wide referential checks (safe under appends and deletes):
+    orphan parents and dangling ``path_id`` references across all
+    documents.  Used by diagnostics; the per-load check above is the one
+    guarding writes."""
+    issues: list[IntegrityIssue] = []
+    ids_union = " UNION ALL ".join(f"SELECT id FROM {t}" for t in tables)
+    for table in tables:
+        orphans = db.query_one(
+            f"SELECT COUNT(*) FROM {table} "
+            f"WHERE par_id IS NOT NULL AND par_id NOT IN ({ids_union})"
+        )
+        if orphans[0]:
+            issues.append(
+                IntegrityIssue(
+                    "orphan-parent",
+                    table,
+                    f"{orphans[0]} row(s) reference a missing parent",
+                )
+            )
+        dangling = db.query_one(
+            f"SELECT COUNT(*) FROM {table} "
+            f"WHERE path_id NOT IN (SELECT id FROM paths)"
+        )
+        if dangling[0]:
+            issues.append(
+                IntegrityIssue(
+                    "dangling-path",
+                    table,
+                    f"{dangling[0]} row(s) carry an unknown path_id",
+                )
+            )
+    return issues

@@ -1,20 +1,49 @@
-"""SQLite connection wrapper with the ``regexp_like`` user function.
+"""SQLite connection wrapper with the ``regexp_like`` user function and
+the resilience layer wired through every statement.
 
 The paper's SQL statements filter root-to-node paths with Oracle's
 ``REGEXP_LIKE(value, pattern)``.  SQLite has no regex support built in,
 so :class:`Database` registers an equivalent deterministic user function
 backed by Python's :mod:`re` with a compiled-pattern cache — the SQL the
 translator emits is then shaped exactly like the paper's.
+
+On top of that, every statement runs under a
+:class:`~repro.resilience.ResiliencePolicy`:
+
+* transient ``SQLITE_BUSY`` errors are retried with exponential backoff
+  and jitter (file-backed stores also get WAL journaling and a
+  ``busy_timeout`` so concurrent readers work at all),
+* :meth:`query` enforces a per-statement wall-clock timeout through a
+  SQLite progress handler (:class:`~repro.resilience.QueryGuard`) and a
+  row-count cap while fetching,
+* :meth:`cancel` cooperatively interrupts a statement running in another
+  thread,
+* :meth:`savepoint` provides the nested-transaction scope the stores use
+  for atomic document loads.
 """
 
 from __future__ import annotations
 
 import re
 import sqlite3
+import threading
+import time
+from contextlib import contextmanager
 from functools import lru_cache
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
-from repro.errors import StorageError
+from repro.errors import (
+    QueryCancelledError,
+    QueryLimitError,
+    QueryTimeoutError,
+    StorageError,
+)
+from repro.resilience.guards import QueryGuard
+from repro.resilience.policy import DEFAULT_POLICY, ResiliencePolicy
+from repro.resilience.retry import run_with_retry
+
+#: Rows fetched per chunk while enforcing ``max_rows``.
+_FETCH_CHUNK = 256
 
 
 @lru_cache(maxsize=512)
@@ -22,19 +51,64 @@ def _compiled(pattern: str) -> re.Pattern:
     return re.compile(pattern)
 
 
-def _regexp_like(value: Any, pattern: str) -> int:
-    """Oracle-style ``REGEXP_LIKE``: true iff ``pattern`` matches anywhere
-    in ``value`` (our generated patterns are always ``^...$``-anchored)."""
+def _as_text(value: Any) -> str | None:
+    """Coerce a SQLite-typed value to text for regex matching.
+
+    ``None`` stays ``None``; blobs decode as UTF-8 (undecodable blobs
+    yield ``None`` — binary data cannot match a textual pattern);
+    everything else goes through ``str``.
+    """
     if value is None:
+        return None
+    if isinstance(value, bytes):
+        try:
+            return value.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+    if isinstance(value, str):
+        return value
+    return str(value)
+
+
+def _regexp_like(value: Any, pattern: Any) -> int:
+    """Oracle-style ``REGEXP_LIKE``: true iff ``pattern`` matches anywhere
+    in ``value`` (our generated patterns are always ``^...$``-anchored).
+
+    :raises StorageError: for patterns that are not valid regular
+        expressions (surfaces through SQLite as a wrapped
+        :class:`StorageError`, never a bare :class:`re.error`).
+    """
+    text = _as_text(value)
+    if text is None:
         return 0
-    return 1 if _compiled(pattern).search(str(value)) else 0
+    pattern_text = _as_text(pattern)
+    if pattern_text is None:
+        raise StorageError(f"invalid regexp_like pattern {pattern!r}")
+    try:
+        rx = _compiled(pattern_text)
+    except re.error as exc:
+        raise StorageError(
+            f"invalid regular expression {pattern_text!r}: {exc}"
+        ) from exc
+    return 1 if rx.search(text) else 0
 
 
 class Database:
-    """Thin convenience wrapper around one :mod:`sqlite3` connection."""
+    """Convenience wrapper around one :mod:`sqlite3` connection, running
+    every statement under a resilience policy."""
 
-    def __init__(self, connection: sqlite3.Connection):
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        policy: ResiliencePolicy | None = None,
+    ):
         self.connection = connection
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        self._cancel_event = threading.Event()
+        self._active_guard: QueryGuard | None = None
+        # Injectable for deterministic tests.
+        self._sleep = time.sleep
+        self._rng = None  # run_with_retry creates one when None
         connection.create_function(
             "regexp_like", 2, _regexp_like, deterministic=True
         )
@@ -47,53 +121,252 @@ class Database:
             deterministic=True,
         )
         connection.execute("PRAGMA foreign_keys = ON")
+        if self.policy.busy_timeout_ms:
+            connection.execute(
+                f"PRAGMA busy_timeout = {int(self.policy.busy_timeout_ms)}"
+            )
 
     # -- constructors -----------------------------------------------------------
 
     @classmethod
-    def memory(cls) -> "Database":
+    def memory(
+        cls,
+        policy: ResiliencePolicy | None = None,
+        check_same_thread: bool = True,
+    ) -> "Database":
         """A fresh in-memory database."""
-        return cls(sqlite3.connect(":memory:"))
+        return cls(
+            sqlite3.connect(":memory:", check_same_thread=check_same_thread),
+            policy=policy,
+        )
 
     @classmethod
-    def open(cls, path: str) -> "Database":
-        """Open (or create) a database file."""
-        return cls(sqlite3.connect(path))
+    def open(
+        cls,
+        path: str,
+        policy: ResiliencePolicy | None = None,
+        *,
+        timeout: float = 5.0,
+        check_same_thread: bool = True,
+        read_only: bool = False,
+    ) -> "Database":
+        """Open (or create) a database file.
+
+        :param timeout: seconds :mod:`sqlite3` blocks on a locked
+            database before raising (passed to ``sqlite3.connect``).
+        :param check_same_thread: set False to share the connection
+            across threads (callers must serialize access themselves).
+        :param read_only: open via a ``mode=ro`` URI; writes then raise
+            :class:`StorageError` and no journal-mode change is
+            attempted.
+        """
+        if read_only:
+            connection = sqlite3.connect(
+                f"file:{path}?mode=ro",
+                uri=True,
+                timeout=timeout,
+                check_same_thread=check_same_thread,
+            )
+        else:
+            connection = sqlite3.connect(
+                path, timeout=timeout, check_same_thread=check_same_thread
+            )
+        db = cls(connection, policy=policy)
+        if db.policy.wal and not read_only:
+            try:
+                connection.execute("PRAGMA journal_mode = WAL")
+            except sqlite3.Error:  # pragma: no cover - e.g. network FS
+                pass
+        return db
+
+    # -- raw layer (fault injection hooks) ---------------------------------------
+
+    def _raw_execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        return self.connection.execute(sql, params)
+
+    def _raw_executemany(self, sql: str, rows: Iterable[Sequence]):
+        return self.connection.executemany(sql, rows)
+
+    def _raw_executescript(self, script: str):
+        return self.connection.executescript(script)
 
     # -- statement execution ------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
-        """Execute one statement, wrapping sqlite errors with the SQL."""
+        """Execute one statement, retrying transient errors and wrapping
+        sqlite errors with (truncated) SQL context."""
         try:
-            return self.connection.execute(sql, params)
+            return run_with_retry(
+                lambda: self._raw_execute(sql, params),
+                self.policy,
+                sleep=self._sleep,
+                rng=self._rng,
+                sql=sql,
+            )
         except sqlite3.Error as exc:
-            raise StorageError(f"{exc}\nSQL was:\n{sql}") from exc
+            raise self._wrap(exc, sql) from exc
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
-        """Bulk-execute one statement over many parameter rows."""
+        """Bulk-execute one statement over many parameter rows.
+
+        Rows are materialized once so a transient-error retry replays the
+        identical batch even when given a one-shot iterator.
+        """
+        batch = rows if isinstance(rows, (list, tuple)) else list(rows)
         try:
-            self.connection.executemany(sql, rows)
+            run_with_retry(
+                lambda: self._raw_executemany(sql, batch),
+                self.policy,
+                sleep=self._sleep,
+                rng=self._rng,
+                sql=sql,
+            )
         except sqlite3.Error as exc:
-            raise StorageError(f"{exc}\nSQL was:\n{sql}") from exc
+            raise self._wrap(exc, sql) from exc
 
     def executescript(self, script: str) -> None:
         """Execute a multi-statement script."""
         try:
-            self.connection.executescript(script)
+            run_with_retry(
+                lambda: self._raw_executescript(script),
+                self.policy,
+                sleep=self._sleep,
+                rng=self._rng,
+                sql=script,
+            )
         except sqlite3.Error as exc:
-            raise StorageError(f"{exc}\nscript was:\n{script}") from exc
+            raise self._wrap(exc, script) from exc
 
-    def query(self, sql: str, params: Sequence = ()) -> list[tuple]:
-        """Execute and fetch all rows."""
-        return self.execute(sql, params).fetchall()
+    def _wrap(self, exc: sqlite3.Error, sql: str) -> StorageError:
+        """Map a raw sqlite error to the right StorageError subclass."""
+        if isinstance(exc, sqlite3.OperationalError) and "interrupt" in str(
+            exc
+        ).lower():
+            guard = self._active_guard
+            if guard is not None and guard.expired:
+                return QueryTimeoutError(
+                    f"query exceeded the {guard.timeout:g}s wall-clock "
+                    f"limit",
+                    sql=sql,
+                )
+            if self._cancel_event.is_set():
+                self._cancel_event.clear()
+                return QueryCancelledError("query cancelled", sql=sql)
+        return StorageError(str(exc), sql=sql)
+
+    # -- guarded queries ----------------------------------------------------------
+
+    @contextmanager
+    def _guarded(self, timeout: float | None) -> Iterator[QueryGuard | None]:
+        if timeout is None:
+            yield None
+            return
+        guard = QueryGuard(
+            timeout,
+            cancel_event=self._cancel_event,
+            interval=self.policy.progress_interval,
+        )
+        previous = self._active_guard
+        self._active_guard = guard
+        guard.install(self.connection)
+        try:
+            yield guard
+        finally:
+            guard.uninstall(self.connection)
+            self._active_guard = previous
+            if previous is not None:
+                previous.install(self.connection)
+
+    def guarded_query(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        """Like :meth:`query`, but under the connection policy's
+        ``query_timeout`` and ``max_rows`` limits.  This is the entry
+        point for *user* queries (the engines route through it);
+        internal metadata reads use the unguarded :meth:`query` so a
+        tight row cap can never break store bookkeeping."""
+        return self.query(
+            sql,
+            params,
+            timeout=self.policy.query_timeout,
+            max_rows=self.policy.max_rows,
+        )
+
+    def query(
+        self,
+        sql: str,
+        params: Sequence = (),
+        *,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+    ) -> list[tuple]:
+        """Execute and fetch all rows, optionally under query guards.
+
+        :raises QueryTimeoutError: when execution plus fetching exceeds
+            the wall-clock limit.
+        :raises QueryLimitError: when more than ``max_rows`` rows arrive.
+        """
+        with self._guarded(timeout) as guard:
+            cursor = self.execute(sql, params)
+            if guard is not None and guard.deadline_passed():
+                raise QueryTimeoutError(
+                    f"query exceeded the {timeout:g}s wall-clock limit",
+                    sql=sql,
+                )
+            rows: list[tuple] = []
+            while True:
+                try:
+                    chunk = cursor.fetchmany(_FETCH_CHUNK)
+                except sqlite3.Error as exc:
+                    raise self._wrap(exc, sql) from exc
+                if not chunk:
+                    break
+                rows.extend(chunk)
+                if max_rows is not None and len(rows) > max_rows:
+                    raise QueryLimitError(
+                        f"query produced more than {max_rows} row(s)",
+                        sql=sql,
+                    )
+                if guard is not None and guard.deadline_passed():
+                    raise QueryTimeoutError(
+                        f"query exceeded the {timeout:g}s wall-clock "
+                        f"limit while fetching",
+                        sql=sql,
+                    )
+        return rows
 
     def query_one(self, sql: str, params: Sequence = ()) -> tuple | None:
         """Execute and fetch the first row, if any."""
         return self.execute(sql, params).fetchone()
 
+    def cancel(self) -> None:
+        """Cooperatively interrupt the statement currently running on
+        this connection (callable from any thread).  The executing
+        thread sees a :class:`QueryCancelledError`."""
+        self._cancel_event.set()
+        self.connection.interrupt()
+
+    # -- transactions --------------------------------------------------------------
+
     def commit(self) -> None:
         """Commit the current transaction."""
         self.connection.commit()
+
+    @contextmanager
+    def savepoint(self, name: str = "repro_sp") -> Iterator[None]:
+        """A nested-transaction scope: released on success, rolled back
+        (and the enclosing implicit transaction unwound) on any error."""
+        self.execute(f'SAVEPOINT "{name}"')
+        try:
+            yield
+        except BaseException:
+            try:
+                self.execute(f'ROLLBACK TO "{name}"')
+                self.execute(f'RELEASE "{name}"')
+                self.connection.rollback()
+            except StorageError:  # pragma: no cover - connection gone
+                pass
+            raise
+        else:
+            self.execute(f'RELEASE "{name}"')
 
     def close(self) -> None:
         """Close the underlying connection."""

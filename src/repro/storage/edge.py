@@ -12,6 +12,12 @@ compares against.
 from __future__ import annotations
 
 from repro.dewey import encode
+from repro.errors import StoreIntegrityError
+from repro.resilience.integrity import (
+    IntegrityIssue,
+    check_document_load,
+    check_referential_integrity,
+)
 from repro.storage.database import Database
 from repro.storage.paths import PathIndex
 from repro.xmltree.nodes import Document
@@ -59,6 +65,13 @@ class EdgeStore:
         self.path_index = PathIndex(db)
         row = db.query_one("SELECT COALESCE(MAX(base + node_count), 0) FROM docs")
         self._next_base = int(row[0]) if row and row[0] is not None else 0
+        #: In-memory copies of documents loaded through this store
+        #: instance (doc_id -> Document); used by the engines'
+        #: native-evaluator fallback.
+        self.documents: dict[int, Document] = {}
+        self._document_bases: dict[int, int] = {}
+        count_row = db.query_one("SELECT COUNT(*) FROM docs")
+        self._documents_resident = not (count_row and count_row[0])
 
     @classmethod
     def create(cls, db: Database) -> "EdgeStore":
@@ -74,9 +87,52 @@ class EdgeStore:
     def load(self, document: Document) -> int:
         """Shred ``document`` into the central relation.
 
+        The load runs inside one savepoint and is verified by a
+        post-load integrity check before release: a mid-load failure
+        rolls every row back, leaving the store unchanged.
+
         :returns: the assigned ``doc_id``.
+        :raises StoreIntegrityError: when the freshly written rows
+            violate a store invariant (the load is rolled back first).
         """
         base = self._next_base
+        try:
+            with self.db.savepoint("repro_load"):
+                doc_id, count = self._write_document(document, base)
+                issues = check_document_load(
+                    self.db, ["edge"], doc_id, base, count
+                )
+                orphan_attrs = self.db.query_one(
+                    "SELECT COUNT(*) FROM attrs WHERE elem_id >= ? "
+                    "AND elem_id < ? AND elem_id NOT IN "
+                    "(SELECT id FROM edge)",
+                    (base, base + count),
+                )
+                if orphan_attrs[0]:
+                    issues.append(
+                        IntegrityIssue(
+                            "orphan-parent",
+                            "attrs",
+                            f"{orphan_attrs[0]} attribute row(s) reference "
+                            f"a missing element",
+                        )
+                    )
+                if issues:
+                    raise StoreIntegrityError(
+                        "post-load integrity check failed: "
+                        + "; ".join(str(issue) for issue in issues)
+                    )
+        except BaseException:
+            self.path_index.refresh()
+            raise
+        self.db.commit()
+        self._next_base = base + count
+        self.documents[doc_id] = document
+        self._document_bases[doc_id] = base
+        return doc_id
+
+    def _write_document(self, document: Document, base: int) -> tuple[int, int]:
+        """Insert all rows of ``document``; returns (doc_id, count)."""
         cursor = self.db.execute(
             "INSERT INTO docs (name, base, node_count) VALUES (?, ?, 0)",
             (document.name, base),
@@ -115,9 +171,22 @@ class EdgeStore:
         self.db.execute(
             "UPDATE docs SET node_count = ? WHERE id = ?", (count, doc_id)
         )
-        self.db.commit()
-        self._next_base = base + count
-        return doc_id
+        return doc_id, count
+
+    def resident_documents(self) -> dict[int, tuple[Document, int]] | None:
+        """``doc_id -> (Document, base)`` when every stored document was
+        loaded through this instance (see
+        :meth:`ShreddedStore.resident_documents`)."""
+        if not self._documents_resident:
+            return None
+        return {
+            doc_id: (doc, self._document_bases[doc_id])
+            for doc_id, doc in self.documents.items()
+        }
+
+    def verify_integrity(self) -> list[IntegrityIssue]:
+        """Store-wide referential checks (diagnostics)."""
+        return check_referential_integrity(self.db, ["edge"])
 
     def total_elements(self) -> int:
         """Number of stored element rows."""

@@ -42,6 +42,18 @@ class PathIndex:
         self._cache[path] = path_id
         return path_id
 
+    def refresh(self) -> None:
+        """Rebuild the in-memory cache from the database.
+
+        Required after a rolled-back load: paths inserted inside the
+        aborted savepoint are gone from the relation but would otherwise
+        linger in the cache, handing out ids that reference nothing.
+        """
+        self._cache = {
+            path: path_id
+            for path_id, path in self.db.query("SELECT id, path FROM paths")
+        }
+
     def lookup(self, path: str) -> int | None:
         """Id of ``path`` if present."""
         return self._cache.get(path)

@@ -26,7 +26,12 @@ import re
 from dataclasses import dataclass, field
 
 from repro.dewey import encode
-from repro.errors import SchemaError, StorageError
+from repro.errors import SchemaError, StorageError, StoreIntegrityError
+from repro.resilience.integrity import (
+    IntegrityIssue,
+    check_document_load,
+    check_referential_integrity,
+)
 from repro.schema.marking import SchemaMarking
 from repro.schema.model import Schema
 from repro.storage.database import Database
@@ -260,6 +265,17 @@ class ShreddedStore:
         self.marking = marking
         self.path_index = PathIndex(db)
         self._next_base = self._initial_base()
+        #: In-memory copies of documents loaded through this store
+        #: instance (doc_id -> (Document, base)); used by the engines'
+        #: native-evaluator fallback.
+        self.documents: dict[int, Document] = {}
+        self._document_bases: dict[int, int] = {}
+        # Fallback answers are only trustworthy when every stored
+        # document is resident and unmodified since loading.
+        row = db.query_one("SELECT COUNT(*) FROM docs") if (
+            "docs" in db.table_names()
+        ) else None
+        self._documents_resident = not (row and row[0])
 
     @classmethod
     def create(cls, db: Database, schema: Schema) -> "ShreddedStore":
@@ -308,15 +324,50 @@ class ShreddedStore:
     def load(self, document: Document) -> int:
         """Shred ``document`` into the mapping relations.
 
+        The whole load runs inside one savepoint and is verified by a
+        post-load integrity check before release: any mid-load failure
+        (or detected inconsistency) rolls every row back, leaving the
+        store exactly as it was.
+
         :returns: the assigned ``doc_id``.
         :raises StorageError: if the document does not conform to the
             store's schema.
+        :raises StoreIntegrityError: if the freshly written rows violate
+            a store invariant (the load is rolled back first).
         """
         if not self.schema.conforms(document):
             raise StorageError(
                 f"document {document.name!r} does not conform to the schema"
             )
         base = self._next_base
+        try:
+            with self.db.savepoint("repro_load"):
+                doc_id, count = self._write_document(document, base)
+                issues = check_document_load(
+                    self.db,
+                    list(self.mapping.relations),
+                    doc_id,
+                    base,
+                    count,
+                )
+                if issues:
+                    raise StoreIntegrityError(
+                        "post-load integrity check failed: "
+                        + "; ".join(str(issue) for issue in issues)
+                    )
+        except BaseException:
+            # Paths inserted inside the aborted savepoint are gone from
+            # the relation; drop them from the cache too.
+            self.path_index.refresh()
+            raise
+        self.db.commit()
+        self._next_base = base + count
+        self.documents[doc_id] = document
+        self._document_bases[doc_id] = base
+        return doc_id
+
+    def _write_document(self, document: Document, base: int) -> tuple[int, int]:
+        """Insert all rows of ``document``; returns (doc_id, count)."""
         count = 0
         rows_by_relation: dict[str, list[tuple]] = {}
         insert_sql: dict[str, str] = {}
@@ -339,9 +390,32 @@ class ShreddedStore:
         self.db.execute(
             "UPDATE docs SET node_count = ? WHERE id = ?", (count, doc_id)
         )
-        self.db.commit()
-        self._next_base = base + count
-        return doc_id
+        return doc_id, count
+
+    # -- fallback support -----------------------------------------------------------
+
+    def resident_documents(self) -> dict[int, tuple[Document, int]] | None:
+        """``doc_id -> (Document, base)`` when the in-memory copies
+        mirror the stored data exactly — i.e. every document was loaded
+        through this store instance and none was modified since.
+        Returns ``None`` otherwise; the engines' native fallback then
+        declines rather than serve stale answers."""
+        if not self._documents_resident:
+            return None
+        return {
+            doc_id: (doc, self._document_bases[doc_id])
+            for doc_id, doc in self.documents.items()
+        }
+
+    def _mark_documents_stale(self) -> None:
+        self._documents_resident = False
+
+    def verify_integrity(self) -> list[IntegrityIssue]:
+        """Store-wide referential checks (diagnostics): orphan parents
+        and dangling ``path_id`` references across all relations."""
+        return check_referential_integrity(
+            self.db, list(self.mapping.relations)
+        )
 
     def _insert_sql(self, info: RelationInfo) -> str:
         columns = ["id", "doc_id", "par_id", "path_id", "dewey_pos"]
@@ -425,6 +499,8 @@ class ShreddedStore:
             removed += cursor.rowcount
         self.db.execute("DELETE FROM docs WHERE id = ?", (doc_id,))
         self.db.commit()
+        self.documents.pop(doc_id, None)
+        self._document_bases.pop(doc_id, None)
         return removed
 
     def append_subtree(self, parent_global_id: int, element: ElementNode) -> list[int]:
@@ -506,6 +582,7 @@ class ShreddedStore:
             self.db.executemany(insert_sql[table], rows)
         self.db.commit()
         self._next_base = base + len(new_ids)
+        self._mark_documents_stale()
         return new_ids
 
     def _next_child_ordinal(self, parent_global_id: int) -> int:
@@ -582,6 +659,7 @@ class ShreddedStore:
             )
             removed += cursor.rowcount
         self.db.commit()
+        self._mark_documents_stale()
         return removed
 
     def update_text(self, global_id: int, value) -> None:
@@ -600,6 +678,7 @@ class ShreddedStore:
             (_convert(str(value), info.text_kind), global_id),
         )
         self.db.commit()
+        self._mark_documents_stale()
 
     def update_attribute(self, global_id: int, name: str, value) -> None:
         """Set one attribute of one element (``None`` removes it).
@@ -615,6 +694,7 @@ class ShreddedStore:
             (converted, global_id),
         )
         self.db.commit()
+        self._mark_documents_stale()
 
     def _locate(self, global_id: int) -> tuple[int, bytes] | None:
         """(doc_id, dewey_pos) of an element, searching all relations."""

@@ -1,8 +1,6 @@
 """Engine-level behaviours: projections, multi-document stores, explain,
 result objects, empty results."""
 
-import pytest
-
 from repro import (
     Database,
     EdgePPFEngine,
@@ -145,6 +143,50 @@ class TestTranslationCache:
     def test_results_stay_correct_after_cached_reuse(self, figure1_store):
         engine = PPFEngine(figure1_store)
         assert engine.execute("//F").ids == engine.execute("//F").ids
+
+    def test_eviction_is_lru_not_wholesale(self, figure1_store):
+        """A full cache evicts only the least-recently-used entry."""
+        engine = PPFEngine(figure1_store)
+        engine._CACHE_LIMIT = 3
+        first = engine.translate("//F[.=0]")
+        engine.translate("//F[.=1]")
+        engine.translate("//F[.=2]")
+        # Touch the oldest entry so it becomes most-recently-used...
+        assert engine.translate("//F[.=0]") is first
+        # ...then overflow: the eviction victim must be //F[.=1].
+        engine.translate("//F[.=3]")
+        assert set(engine._translation_cache) == {
+            "//F[.=0]", "//F[.=2]", "//F[.=3]"
+        }
+        assert engine.translate("//F[.=0]") is first
+
+    def test_cache_info_counts_hits_and_misses(self, figure1_store):
+        engine = PPFEngine(figure1_store)
+        info = engine.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+        engine.translate("//F")
+        engine.translate("//F")
+        engine.translate("//G")
+        info = engine.cache_info()
+        assert info.hits == 1
+        assert info.misses == 2
+        assert info.currsize == 2
+        assert info.maxsize == engine._CACHE_LIMIT
+
+    def test_cache_clear_resets(self, figure1_store):
+        engine = PPFEngine(figure1_store)
+        engine.translate("//F")
+        engine.cache_clear()
+        info = engine.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_ast_inputs_do_not_touch_counters(self, figure1_store):
+        from repro import parse_xpath
+
+        engine = PPFEngine(figure1_store)
+        engine.translate(parse_xpath("//F"))
+        info = engine.cache_info()
+        assert (info.hits, info.misses) == (0, 0)
 
 
 class TestSharedComplexTypes:

@@ -1,0 +1,146 @@
+"""Graceful degradation: when SQL execution times out or exhausts its
+retries, an engine with ``fallback=True`` answers through the native
+evaluator and reports which path served the query."""
+
+import pytest
+
+from repro import (
+    EdgePPFEngine,
+    EdgeStore,
+    PPFEngine,
+    QueryTimeoutError,
+    ResiliencePolicy,
+    RetryExhaustedError,
+    ShreddedStore,
+    infer_schema,
+    parse_document,
+)
+from repro.resilience.faults import FaultInjectingDatabase, FaultPlan
+
+XML = (
+    "<library>"
+    "<book year='2001'><title>Alpha</title><price>10</price></book>"
+    "<book year='2003'><title>Beta</title><price>30</price></book>"
+    "<book year='2003'><title>Gamma</title><price>20</price></book>"
+    "</library>"
+)
+
+QUERIES = [
+    "//book",
+    "/library/book[price>15]",
+    "//book[@year='2003']/title",
+    "//title/text()",
+    "//book/@year",
+]
+
+
+@pytest.fixture()
+def setup():
+    plan = FaultPlan()
+    db = FaultInjectingDatabase.memory(plan)
+    doc = parse_document(XML, name="lib")
+    store = ShreddedStore.create(db, infer_schema([doc]))
+    store.load(doc)
+    return plan, db, store
+
+
+def _force_timeout(plan, db):
+    """Every subsequent SELECT sleeps past a tiny wall-clock budget."""
+    db.policy = db.policy.replace(query_timeout=0.02)
+    plan.script(
+        "delay", match="SELECT DISTINCT", times=1000, seconds=0.05
+    )
+
+
+def _force_retry_exhaustion(plan, db):
+    db.policy = db.policy.replace(
+        max_retries=2, backoff_base=0.001, backoff_cap=0.01
+    )
+    plan.script("busy", match="SELECT DISTINCT", times=1000)
+
+
+class TestFallback:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_timed_out_query_served_natively_with_correct_results(
+        self, setup, query
+    ):
+        plan, db, store = setup
+        expected = PPFEngine(store).execute(query)
+        assert expected.served_by == "sql"
+        _force_timeout(plan, db)
+        engine = PPFEngine(store, fallback=True)
+        result = engine.execute(query)
+        assert result.served_by == "native"
+        assert result.ids == expected.ids
+        assert result.values == expected.values
+
+    def test_without_fallback_the_timeout_surfaces(self, setup):
+        plan, db, store = setup
+        _force_timeout(plan, db)
+        with pytest.raises(QueryTimeoutError):
+            PPFEngine(store).execute("//book")
+
+    def test_retry_exhaustion_also_falls_back(self, setup):
+        plan, db, store = setup
+        expected = PPFEngine(store).execute("//book").ids
+        _force_retry_exhaustion(plan, db)
+        engine = PPFEngine(store, fallback=True)
+        result = engine.execute("//book")
+        assert result.served_by == "native"
+        assert result.ids == expected
+
+    def test_without_fallback_retry_exhaustion_surfaces(self, setup):
+        plan, db, store = setup
+        _force_retry_exhaustion(plan, db)
+        with pytest.raises(RetryExhaustedError):
+            PPFEngine(store).execute("//book")
+
+    def test_edge_engine_falls_back_too(self):
+        plan = FaultPlan()
+        db = FaultInjectingDatabase.memory(plan)
+        store = EdgeStore.create(db)
+        doc = parse_document(XML, name="lib")
+        store.load(doc)
+        expected = EdgePPFEngine(store).execute("//book[price>15]").ids
+        _force_timeout(plan, db)
+        engine = EdgePPFEngine(store, fallback=True)
+        result = engine.execute("//book[price>15]")
+        assert result.served_by == "native"
+        assert result.ids == expected
+
+
+class TestFallbackDeclines:
+    def test_reopened_store_declines_and_reraises(self, tmp_path):
+        """A store opened from disk has no resident documents — serving
+        stale or partial answers is worse than surfacing the error."""
+        from repro import Database
+
+        path = str(tmp_path / "store.db")
+        doc = parse_document(XML, name="lib")
+        store = ShreddedStore.create(
+            Database.open(path), infer_schema([doc])
+        )
+        store.load(doc)
+        store.db.close()
+
+        plan = FaultPlan()
+        policy = ResiliencePolicy(query_timeout=0.02)
+        import sqlite3
+
+        reopened = ShreddedStore.open(
+            FaultInjectingDatabase(sqlite3.connect(path), plan, policy)
+        )
+        assert reopened.resident_documents() is None
+        plan.script("delay", match="SELECT DISTINCT", times=10, seconds=0.05)
+        engine = PPFEngine(reopened, fallback=True)
+        with pytest.raises(QueryTimeoutError):
+            engine.execute("//book")
+
+    def test_modified_store_declines(self, setup):
+        plan, db, store = setup
+        result = PPFEngine(store).execute("//title")
+        store.update_text(result.ids[0], "Delta")
+        assert store.resident_documents() is None
+        _force_timeout(plan, db)
+        with pytest.raises(QueryTimeoutError):
+            PPFEngine(store, fallback=True).execute("//book")

@@ -1,0 +1,78 @@
+"""The fault injector itself: scripted matching, seeded determinism,
+and the guarantee that transaction-control statements are never faulted
+(recovery must always be able to complete)."""
+
+import time
+
+import pytest
+
+from repro import StorageError
+from repro.resilience.faults import FaultInjectingDatabase, FaultPlan
+
+
+class TestFaultPlan:
+    def test_scripted_fault_matches_substring(self):
+        plan = FaultPlan().script("busy", match="INSERT", times=1)
+        assert plan.draw("SELECT 1") is None
+        spec = plan.draw("INSERT INTO t VALUES (1)")
+        assert spec is not None and spec.kind == "busy"
+        assert plan.draw("INSERT INTO t VALUES (2)") is None  # exhausted
+
+    def test_empty_match_hits_everything(self):
+        plan = FaultPlan().script("error", times=2)
+        assert plan.draw("SELECT 1").kind == "error"
+        assert plan.draw("CREATE TABLE t (x)").kind == "error"
+        assert plan.draw("SELECT 2") is None
+
+    def test_seeded_background_schedule_is_reproducible(self):
+        statements = [f"SELECT {i}" for i in range(50)]
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=99, busy_rate=0.2, delay_rate=0.1)
+            runs.append(
+                [
+                    spec.kind if (spec := plan.draw(sql)) else None
+                    for sql in statements
+                ]
+            )
+        assert runs[0] == runs[1]
+        assert any(kind == "busy" for kind in runs[0])
+
+    def test_different_seeds_differ(self):
+        draws = []
+        for seed in (1, 2):
+            plan = FaultPlan(seed=seed, busy_rate=0.3)
+            draws.append(
+                [plan.draw(f"SELECT {i}") is not None for i in range(50)]
+            )
+        assert draws[0] != draws[1]
+
+    def test_injection_log_records_kind_and_sql(self):
+        plan = FaultPlan().script("busy", match="SELECT")
+        plan.draw("SELECT x FROM t")
+        assert plan.injected == [("busy", "SELECT x FROM t")]
+
+
+class TestFaultInjectingDatabase:
+    def test_control_statements_never_faulted(self):
+        plan = FaultPlan().script("error", times=100)
+        db = FaultInjectingDatabase.memory(plan)
+        # Control statements pass even with an error scripted for
+        # every other statement.
+        db.execute("SAVEPOINT sp")
+        db.execute("RELEASE sp")
+        with pytest.raises(StorageError):
+            db.execute("SELECT 1")
+
+    def test_delay_fault_slows_statement(self):
+        plan = FaultPlan().script("delay", match="SELECT", seconds=0.05)
+        db = FaultInjectingDatabase.memory(plan)
+        started = time.monotonic()
+        assert db.query("SELECT 1") == [(1,)]
+        assert time.monotonic() - started >= 0.05
+
+    def test_busy_fault_is_transparent_under_default_retry(self):
+        plan = FaultPlan().script("busy", match="SELECT", times=1)
+        db = FaultInjectingDatabase.memory(plan)
+        db._sleep = lambda _: None  # keep the test fast
+        assert db.query("SELECT 1") == [(1,)]

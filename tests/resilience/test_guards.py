@@ -1,0 +1,127 @@
+"""Query guards: wall-clock timeout, row-count cap, cooperative cancel."""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    Database,
+    QueryCancelledError,
+    QueryLimitError,
+    QueryTimeoutError,
+    ResiliencePolicy,
+)
+
+#: A query that runs until aborted.
+_INFINITE = (
+    "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL SELECT x + 1 FROM c) "
+    "SELECT COUNT(*) FROM c"
+)
+
+
+class TestTimeout:
+    def test_timeout_aborts_within_twice_the_limit(self):
+        limit = 0.2
+        db = Database.memory(ResiliencePolicy(query_timeout=limit))
+        started = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            db.guarded_query(_INFINITE)
+        elapsed = time.monotonic() - started
+        assert elapsed < 2 * limit
+
+    def test_timeout_error_carries_sql(self):
+        db = Database.memory(ResiliencePolicy(query_timeout=0.05))
+        with pytest.raises(QueryTimeoutError, match="RECURSIVE"):
+            db.guarded_query(_INFINITE)
+
+    def test_fast_query_unaffected(self):
+        db = Database.memory(ResiliencePolicy(query_timeout=5.0))
+        assert db.guarded_query("SELECT 1") == [(1,)]
+
+    def test_per_call_timeout_on_plain_query(self):
+        db = Database.memory()
+        with pytest.raises(QueryTimeoutError):
+            db.query(_INFINITE, timeout=0.05)
+
+    def test_connection_still_usable_after_timeout(self):
+        db = Database.memory(ResiliencePolicy(query_timeout=0.05))
+        with pytest.raises(QueryTimeoutError):
+            db.guarded_query(_INFINITE)
+        assert db.query("SELECT 2") == [(2,)]
+
+    def test_timeout_is_a_storage_error(self):
+        from repro import StorageError
+
+        assert issubclass(QueryTimeoutError, StorageError)
+        assert issubclass(QueryLimitError, StorageError)
+
+
+class TestRowLimit:
+    @pytest.fixture()
+    def populated(self):
+        db = Database.memory()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(1000)])
+        return db
+
+    def test_over_limit_raises(self, populated):
+        populated.policy = populated.policy.replace(max_rows=10)
+        with pytest.raises(QueryLimitError, match="10"):
+            populated.guarded_query("SELECT x FROM t")
+
+    def test_at_limit_passes(self, populated):
+        populated.policy = populated.policy.replace(max_rows=1000)
+        rows = populated.guarded_query("SELECT x FROM t")
+        assert len(rows) == 1000
+
+    def test_unguarded_query_unlimited(self, populated):
+        populated.policy = populated.policy.replace(max_rows=10)
+        assert len(populated.query("SELECT x FROM t")) == 1000
+
+    def test_per_call_limit(self, populated):
+        with pytest.raises(QueryLimitError):
+            populated.query("SELECT x FROM t", max_rows=5)
+
+
+class TestCancel:
+    def test_cancel_interrupts_running_query(self):
+        db = Database.memory(check_same_thread=False)
+        failure: list[BaseException] = []
+        started = threading.Event()
+
+        def run():
+            started.set()
+            try:
+                db.query(_INFINITE)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                failure.append(exc)
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        started.wait(1.0)
+        time.sleep(0.05)  # let the query reach the SQLite VM
+        db.cancel()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert len(failure) == 1
+        assert isinstance(failure[0], QueryCancelledError)
+
+    def test_connection_usable_after_cancel(self):
+        db = Database.memory(check_same_thread=False)
+        started = threading.Event()
+
+        def run():
+            started.set()
+            try:
+                db.query(_INFINITE)
+            except QueryCancelledError:
+                pass
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        started.wait(1.0)
+        time.sleep(0.05)
+        db.cancel()
+        worker.join(timeout=5.0)
+        assert db.query("SELECT 3") == [(3,)]

@@ -1,0 +1,145 @@
+"""Retry with exponential backoff + jitter for transient SQLite errors."""
+
+import random
+import sqlite3
+
+import pytest
+
+from repro import ResiliencePolicy, RetryExhaustedError, StorageError
+from repro.resilience import backoff_delay, is_transient, run_with_retry
+from repro.resilience.faults import FaultInjectingDatabase, FaultPlan
+
+
+class TestTransientClassification:
+    def test_locked_is_transient(self):
+        assert is_transient(sqlite3.OperationalError("database is locked"))
+
+    def test_table_locked_is_transient(self):
+        assert is_transient(
+            sqlite3.OperationalError("database table is locked: t")
+        )
+
+    def test_syntax_error_is_permanent(self):
+        assert not is_transient(
+            sqlite3.OperationalError('near "FROM": syntax error')
+        )
+
+    def test_integrity_error_is_permanent(self):
+        assert not is_transient(
+            sqlite3.IntegrityError("UNIQUE constraint failed")
+        )
+
+
+class TestBackoff:
+    POLICY = ResiliencePolicy(
+        backoff_base=0.1, backoff_cap=1.0, backoff_multiplier=2.0, jitter=0.0
+    )
+
+    def test_delays_grow_exponentially_to_cap(self):
+        rng = random.Random(7)
+        delays = [backoff_delay(self.POLICY, a, rng) for a in range(6)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_jitter_adds_bounded_fraction(self):
+        policy = self.POLICY.replace(jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(6):
+            base = backoff_delay(self.POLICY, attempt, rng)
+            jittered = backoff_delay(policy, attempt, random.Random(attempt))
+            assert base <= jittered <= base * 1.5
+
+    def test_run_with_retry_sleeps_with_backoff(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        result = run_with_retry(
+            flaky,
+            self.POLICY,
+            sleep=sleeps.append,
+            rng=random.Random(0),
+        )
+        assert result == "ok"
+        assert sleeps == [0.1, 0.2, 0.4]
+
+    def test_exhaustion_raises_with_cause(self):
+        policy = self.POLICY.replace(max_retries=2, backoff_base=0.0)
+
+        def always_busy():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_with_retry(
+                always_busy, policy, sleep=lambda _: None, sql="SELECT 1"
+            )
+        assert isinstance(excinfo.value.__cause__, sqlite3.OperationalError)
+        assert excinfo.value.sql == "SELECT 1"
+
+    def test_permanent_error_not_retried(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise sqlite3.OperationalError("no such table: nowhere")
+
+        with pytest.raises(sqlite3.OperationalError):
+            run_with_retry(broken, self.POLICY, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+
+class TestRetryThroughDatabase:
+    def _db(self, plan, **policy_kw):
+        policy = ResiliencePolicy(
+            backoff_base=0.001, backoff_cap=0.01, jitter=0.0, **policy_kw
+        )
+        db = FaultInjectingDatabase.memory(plan, policy=policy)
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.executemany("INSERT INTO t VALUES (?)", [(1,), (2,), (3,)])
+        db.commit()
+        return db
+
+    def test_transient_busy_retried_without_surfacing(self):
+        plan = FaultPlan().script("busy", match="SELECT x", times=2)
+        db = self._db(plan)
+        assert db.query("SELECT x FROM t ORDER BY x") == [(1,), (2,), (3,)]
+        assert plan.injected_kinds() == ["busy", "busy"]
+
+    def test_busy_beyond_budget_exhausts(self):
+        plan = FaultPlan().script("busy", match="SELECT x", times=10)
+        db = self._db(plan, max_retries=2)
+        with pytest.raises(RetryExhaustedError):
+            db.query("SELECT x FROM t")
+        assert plan.injected_kinds() == ["busy"] * 3
+
+    def test_permanent_fault_wrapped_once(self):
+        plan = FaultPlan().script(
+            "error", match="SELECT x", message="disk I/O error"
+        )
+        db = self._db(plan)
+        with pytest.raises(StorageError, match="disk I/O error"):
+            db.query("SELECT x FROM t")
+        assert plan.injected_kinds() == ["error"]
+
+    def test_executemany_retries_replay_full_batch(self):
+        plan = FaultPlan().script("busy", match="INSERT INTO r", times=1)
+        db = self._db(plan)
+        db.execute("CREATE TABLE r (x INTEGER)")
+        db.executemany("INSERT INTO r VALUES (?)", ((i,) for i in range(5)))
+        assert db.query_one("SELECT COUNT(*) FROM r")[0] == 5
+        assert plan.injected_kinds() == ["busy"]
+
+    def test_background_rates_are_deterministic(self):
+        kinds = []
+        for _ in range(2):
+            plan = FaultPlan(seed=42, busy_rate=0.5)
+            db = self._db(plan, max_retries=50)
+            for _ in range(20):
+                db.query("SELECT x FROM t")
+            kinds.append(plan.injected_kinds())
+        assert kinds[0] == kinds[1]
+        assert "busy" in kinds[0]

@@ -1,0 +1,160 @@
+"""Transactional shredding: a mid-load failure must leave the store
+byte-identical to its pre-load state, and the post-load integrity check
+must catch corrupted shreds before they commit."""
+
+import pytest
+
+from repro import (
+    EdgeStore,
+    ShreddedStore,
+    StorageError,
+    StoreIntegrityError,
+    infer_schema,
+    parse_document,
+)
+from repro.resilience.faults import FaultInjectingDatabase, FaultPlan
+from repro.resilience.integrity import check_referential_integrity
+
+XML_ONE = "<shop><item sku='a'><price>5</price></item></shop>"
+XML_TWO = (
+    "<shop><item sku='b'><price>9</price></item>"
+    "<item sku='c'><price>2</price><note>cheap</note></item></shop>"
+)
+
+
+def dump(db) -> str:
+    """Canonical full-content snapshot of a database."""
+    return "\n".join(db.connection.iterdump())
+
+
+@pytest.fixture()
+def docs():
+    return (
+        parse_document(XML_ONE, name="one"),
+        parse_document(XML_TWO, name="two"),
+    )
+
+
+class TestShreddedRollback:
+    def _store(self, docs, plan):
+        db = FaultInjectingDatabase.memory(plan)
+        schema = infer_schema(list(docs))
+        return ShreddedStore.create(db, schema)
+
+    def test_midload_failure_restores_byte_identical_state(self, docs):
+        plan = FaultPlan()
+        store = self._store(docs, plan)
+        store.load(docs[0])
+        before = dump(store.db)
+        paths_before = store.path_index.all_paths()
+        plan.script("error", match="INSERT INTO shop", message="disk I/O error")
+        with pytest.raises(StorageError, match="disk I/O error"):
+            store.load(docs[1])
+        assert dump(store.db) == before
+        # The path cache must not keep ids the rollback erased
+        # (doc two introduces /shop/item/note).
+        assert store.path_index.all_paths() == paths_before
+
+    def test_doc_row_rolled_back_too(self, docs):
+        plan = FaultPlan()
+        store = self._store(docs, plan)
+        store.load(docs[0])
+        plan.script("error", match="INSERT INTO item")
+        with pytest.raises(StorageError):
+            store.load(docs[1])
+        assert store.db.query_one("SELECT COUNT(*) FROM docs")[0] == 1
+
+    def test_load_succeeds_after_failed_attempt(self, docs):
+        plan = FaultPlan()
+        store = self._store(docs, plan)
+        store.load(docs[0])
+        plan.script("error", match="INSERT INTO shop")
+        with pytest.raises(StorageError):
+            store.load(docs[1])
+        doc_id = store.load(docs[1])
+        assert doc_id == 2
+        assert store.total_elements() == 3 + 6
+        assert check_referential_integrity(
+            store.db, list(store.mapping.relations)
+        ) == []
+        from repro import PPFEngine
+
+        assert len(PPFEngine(store).execute("//item")) == 3
+
+    def test_failure_on_first_load_leaves_empty_store(self, docs):
+        plan = FaultPlan()
+        store = self._store(docs, plan)
+        before = dump(store.db)
+        plan.script("error", match="INSERT INTO docs")
+        with pytest.raises(StorageError):
+            store.load(docs[0])
+        assert dump(store.db) == before
+        assert store.total_elements() == 0
+
+
+class TestEdgeRollback:
+    def test_midload_failure_restores_byte_identical_state(self, docs):
+        plan = FaultPlan()
+        store = EdgeStore.create(FaultInjectingDatabase.memory(plan))
+        store.load(docs[0])
+        before = dump(store.db)
+        plan.script("error", match="INSERT INTO edge")
+        with pytest.raises(StorageError):
+            store.load(docs[1])
+        assert dump(store.db) == before
+        assert store.total_elements() == 3
+
+    def test_attrs_rolled_back_with_elements(self, docs):
+        plan = FaultPlan()
+        store = EdgeStore.create(FaultInjectingDatabase.memory(plan))
+        store.load(docs[0])
+        plan.script("error", match="INSERT INTO attrs")
+        with pytest.raises(StorageError):
+            store.load(docs[1])
+        assert store.db.query_one("SELECT COUNT(*) FROM attrs")[0] == 1
+
+
+class TestIntegrityCheck:
+    def test_clean_load_passes(self, docs):
+        store = ShreddedStore.create(
+            FaultInjectingDatabase.memory(FaultPlan()),
+            infer_schema(list(docs)),
+        )
+        assert store.load(docs[0]) == 1
+        assert store.verify_integrity() == []
+
+    def test_orphan_parent_detected(self, docs):
+        from repro import Database
+
+        store = ShreddedStore.create(Database.memory(), infer_schema(list(docs)))
+        store.load(docs[0])
+        # Forge a row whose parent does not exist.
+        store.db.execute(
+            "INSERT INTO item (id, doc_id, par_id, path_id, dewey_pos) "
+            "VALUES (999, 1, 12345, 1, X'0102')"
+        )
+        issues = store.verify_integrity()
+        assert any(issue.kind == "orphan-parent" for issue in issues)
+
+    def test_corrupted_shred_rolls_back(self, docs, monkeypatch):
+        """A shredder bug producing orphan rows must not survive the
+        savepoint: the integrity check fires and the load rolls back."""
+        store = ShreddedStore.create(
+            FaultInjectingDatabase.memory(FaultPlan()),
+            infer_schema(list(docs)),
+        )
+        store.load(docs[0])
+        before = dump(store.db)
+
+        original = ShreddedStore._row_for
+
+        def corrupt(self, element, info, doc_id, base):
+            row = list(original(self, element, info, doc_id, base))
+            if row[2] is not None:
+                row[2] = 987654  # dangling par_id
+            return tuple(row)
+
+        monkeypatch.setattr(ShreddedStore, "_row_for", corrupt)
+        with pytest.raises(StoreIntegrityError, match="orphan-parent"):
+            store.load(docs[1])
+        assert dump(store.db) == before
