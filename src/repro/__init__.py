@@ -82,12 +82,17 @@ from repro.resilience import (
     FaultPlan,
     ResiliencePolicy,
 )
+from repro.serving import (
+    ConnectionPool,
+    ResultCache,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccelEngine",
     "AccelStore",
+    "ConnectionPool",
     "Database",
     "DeweyError",
     "Document",
@@ -109,6 +114,7 @@ __all__ = [
     "QueryTimeoutError",
     "ReproError",
     "ResiliencePolicy",
+    "ResultCache",
     "RetryExhaustedError",
     "Schema",
     "SchemaError",

@@ -1,0 +1,195 @@
+"""Serving-layer benchmark: one JSON payload for the whole trajectory.
+
+Collects, against a file-backed XMark store,
+
+* per-query wall times and result cardinalities for the XPathMark set,
+* ``execute_many`` throughput (queries/second) at several pool sizes,
+  with the speedup over the serial single-connection run, and
+* the bulk-load fast path (:meth:`ShreddedStore.bulk_load`) against the
+  equivalent per-document ``load`` loop.
+
+``python benchmarks/run_experiments.py --json BENCH_PR2.json`` writes
+the payload; ``pytest -m bench_smoke`` runs a miniature of the same
+collection as a structural check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import tempfile
+import time
+from typing import Callable, Sequence
+
+from repro.bench.runner import time_engine
+from repro.core.engine import PPFEngine
+from repro.schema.inference import infer_schema
+from repro.serving.pool import ConnectionPool
+from repro.storage.database import Database
+from repro.storage.schema_aware import ShreddedStore
+from repro.workloads.xmark import XMarkConfig, generate_xmark
+from repro.workloads.xpathmark import XPATHMARK_QUERIES
+
+
+def _median_time(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``fn`` after one untimed warm-up."""
+    fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def collect(
+    scale: float = 6.0,
+    worker_counts: Sequence[int] = (1, 4, 8),
+    repeats: int = 3,
+    bulk_docs: int = 8,
+    bulk_scale: float = 1.0,
+    seed: int = 42,
+    workdir: str | None = None,
+) -> dict:
+    """Run the full serving trajectory and return the JSON payload.
+
+    ``worker_counts`` must start with 1: the first entry is the serial
+    baseline the speedups are computed against.  ``workdir`` holds the
+    file-backed stores (the pool needs a real file); a temporary
+    directory is used — and cleaned up — when it is ``None``.
+    """
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            return _collect_in(
+                tmp, scale, worker_counts, repeats, bulk_docs,
+                bulk_scale, seed,
+            )
+    return _collect_in(
+        workdir, scale, worker_counts, repeats, bulk_docs, bulk_scale, seed
+    )
+
+
+def _collect_in(
+    workdir: str,
+    scale: float,
+    worker_counts: Sequence[int],
+    repeats: int,
+    bulk_docs: int,
+    bulk_scale: float,
+    seed: int,
+) -> dict:
+    queries = XPATHMARK_QUERIES
+    document = generate_xmark(XMarkConfig(scale=scale, seed=seed))
+    store = ShreddedStore.create(
+        Database.open(
+            os.path.join(workdir, "serving.db"), check_same_thread=False
+        ),
+        infer_schema([document]),
+    )
+    store.load(document)
+    store.db.execute("ANALYZE")
+    store.db.commit()
+
+    # -- per-query latency + cardinality (result cache off: every run
+    #    must actually hit SQLite) ---------------------------------------
+    engine = PPFEngine(store, result_cache_size=None)
+    per_query = []
+    for query in queries:
+        seconds, count = time_engine(engine, query.xpath, repeats=repeats)
+        per_query.append(
+            {
+                "qid": query.qid,
+                "xpath": query.xpath,
+                "seconds": round(seconds, 6),
+                "nodes": count,
+            }
+        )
+
+    # -- execute_many throughput across pool sizes -----------------------
+    xpaths = [query.xpath for query in queries]
+    runs = []
+    baseline = None
+    for workers in worker_counts:
+        pool = (
+            ConnectionPool.for_store(store, size=workers)
+            if workers > 1
+            else None
+        )
+        run_engine = PPFEngine(store, result_cache_size=None, pool=pool)
+        try:
+            seconds = _median_time(
+                lambda: run_engine.execute_many(xpaths, max_workers=workers),
+                repeats,
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+        if baseline is None:
+            baseline = seconds
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 6),
+                "queries_per_second": round(len(xpaths) / seconds, 2),
+                "speedup_vs_serial": round(baseline / seconds, 3),
+            }
+        )
+
+    # -- bulk-load fast path vs the per-document load loop ---------------
+    bulk_documents = [
+        generate_xmark(XMarkConfig(scale=bulk_scale, seed=seed + 1 + i))
+        for i in range(bulk_docs)
+    ]
+    schema = infer_schema(bulk_documents)
+    loop_store = ShreddedStore.create(
+        Database.open(os.path.join(workdir, "loop.db")), schema
+    )
+    start = time.perf_counter()
+    for doc in bulk_documents:
+        loop_store.load(doc)
+    loop_seconds = time.perf_counter() - start
+    bulk_store = ShreddedStore.create(
+        Database.open(os.path.join(workdir, "bulk.db")), schema
+    )
+    start = time.perf_counter()
+    bulk_store.bulk_load(bulk_documents)
+    bulk_seconds = time.perf_counter() - start
+    if bulk_store.relation_counts() != loop_store.relation_counts():
+        raise AssertionError("bulk_load and load loop diverged")
+
+    return {
+        "meta": {
+            "workload": "xmark-small",
+            "scale": scale,
+            "elements": document.element_count(),
+            "query_count": len(queries),
+            "repeats": repeats,
+            "timing": "median of warm in-process runs",
+            "python": f"{platform.python_implementation()} "
+            f"{platform.python_version()}",
+            "cpus": os.cpu_count(),
+        },
+        "queries": per_query,
+        "serving_throughput": {
+            "workload_queries": len(xpaths),
+            "note": "thread-level speedup is bounded by the CPUs "
+            "available to the process (see meta.cpus)",
+            "runs": runs,
+        },
+        "bulk_load": {
+            "documents": bulk_docs,
+            "elements": sum(d.element_count() for d in bulk_documents),
+            "load_loop_seconds": round(loop_seconds, 6),
+            "bulk_seconds": round(bulk_seconds, 6),
+            "speedup": round(loop_seconds / bulk_seconds, 3),
+        },
+    }
+
+
+def write_json(payload: dict, path: str) -> None:
+    """Write ``payload`` as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

@@ -57,25 +57,26 @@ def cmd_shred(args: argparse.Namespace) -> int:
         store = ShreddedStore.create(db, _load_schema(args.schema))
     else:
         store = ShreddedStore.create(db, infer_schema(documents))
-    for document in documents:
-        doc_id = store.load(document)
-        print(
-            f"loaded {document.name!r} as doc {doc_id} "
-            f"({document.element_count()} elements)"
-        )
+    if args.bulk:
+        doc_ids = store.bulk_load(documents)
+        for document, doc_id in zip(documents, doc_ids):
+            print(
+                f"bulk-loaded {document.name!r} as doc {doc_id} "
+                f"({document.element_count()} elements)"
+            )
+    else:
+        for document in documents:
+            doc_id = store.load(document)
+            print(
+                f"loaded {document.name!r} as doc {doc_id} "
+                f"({document.element_count()} elements)"
+            )
     db.execute("ANALYZE")
     db.commit()
     return 0
 
 
-def cmd_query(args: argparse.Namespace) -> int:
-    """``repro query`` — run an XPath query and print the results."""
-    policy = ResiliencePolicy(
-        query_timeout=args.query_timeout, max_rows=args.max_rows
-    )
-    store = _open_store(args.database, policy)
-    engine = PPFEngine(store)
-    result = engine.execute(args.xpath)
+def _print_result(store, result) -> None:
     for row in result:
         if result.projection == "nodes":
             doc_id, node_id = store.to_document_node_id(row.id)
@@ -86,6 +87,34 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"-- {len(result)} result(s) via {result.served_by}",
         file=sys.stderr,
     )
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query`` — run XPath queries and print the results.
+
+    Several queries with ``--workers N`` fan out over a read-only
+    connection pool (``repro.serving``); results print in input order.
+    """
+    from repro.serving import ConnectionPool
+
+    policy = ResiliencePolicy(
+        query_timeout=args.query_timeout, max_rows=args.max_rows
+    )
+    store = _open_store(args.database, policy)
+    engine = PPFEngine(store)
+    pool = None
+    if args.workers > 1 and len(args.xpaths) > 1:
+        pool = ConnectionPool.for_store(store, size=args.workers)
+        engine.attach_pool(pool)
+    try:
+        results = engine.execute_many(args.xpaths, max_workers=args.workers)
+        for xpath, result in zip(args.xpaths, results):
+            if len(args.xpaths) > 1:
+                print(f"== {xpath}")
+            _print_result(store, result)
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 
@@ -168,11 +197,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--schema",
         help="schema file (.dtd or .xsd); default: infer from documents",
     )
+    shred.add_argument(
+        "--bulk",
+        action="store_true",
+        help="bulk-load fast path: deferred indexes, relaxed pragmas "
+        "(best for initial loads)",
+    )
     shred.set_defaults(handler=cmd_shred)
 
     query = commands.add_parser("query", help="run an XPath query")
     query.add_argument("database")
-    query.add_argument("xpath")
+    query.add_argument("xpaths", nargs="+", metavar="xpath")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve several queries concurrently from a pool of N "
+        "read-only connections",
+    )
     query.add_argument(
         "--query-timeout",
         type=float,

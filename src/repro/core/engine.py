@@ -14,13 +14,19 @@ schema-oblivious variant sharing the identical translation algorithm.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, namedtuple
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.core.adapters import EdgeAdapter, SchemaAwareAdapter
 from repro.core.translator import PPFTranslator, TranslationResult
 from repro.errors import QueryTimeoutError, ReproError, RetryExhaustedError
+from repro.serving.cache import ResultCache
+from repro.serving.pool import ConnectionPool
+from repro.sqlgen.ast import UnionStatement
+from repro.sqlgen.render import render_statement
 from repro.storage.edge import EdgeStore
 from repro.storage.schema_aware import ShreddedStore
 from repro.xpath.ast import XPathExpr
@@ -62,8 +68,27 @@ class QueryResult:
     @property
     def values(self) -> list[str]:
         """Projected text/attribute values (``text``/``attribute``
-        projections only)."""
+        projections only), **excluding** ``None`` entries.
+
+        For engine-served results the two lists are in fact always
+        aligned: the translator emits ``value IS NOT NULL`` on every
+        value projection (an element without text has no text *node*,
+        so it is not a result at all), and the native fallback only
+        produces real text/attribute nodes.  The ``None`` filter here
+        is therefore a guarantee, not a silent row drop — but rows
+        constructed by hand (or future value-producing paths) may carry
+        ``None``, and then ``values`` is shorter than :attr:`ids`; use
+        :attr:`values_aligned` when positional correspondence with
+        ``ids`` must survive that.
+        """
         return [row.value for row in self.rows if row.value is not None]
+
+    @property
+    def values_aligned(self) -> list[Optional[str]]:
+        """Projected values positionally aligned with :attr:`ids`:
+        exactly one entry per result row, with an explicit ``None``
+        sentinel wherever a row carries no value."""
+        return [row.value for row in self.rows]
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -78,9 +103,23 @@ class QueryResult:
 class SQLXPathEngine:
     """Base engine: translate, execute, wrap rows.
 
-    Translations are cached per expression string with true LRU
-    eviction — they depend only on the schema (static for a store's
-    lifetime), so repeated queries skip the translation pass entirely.
+    Two cache tiers sit in front of SQLite:
+
+    * **translations** are cached per expression string with true LRU
+      eviction — they depend only on the schema (static for a store's
+      lifetime), so repeated queries skip the translation pass entirely;
+    * **results** are cached in a bounded LRU keyed by ``(xpath, store
+      generation)``.  The store bumps its generation on every mutation,
+      so a hit is always consistent with the current data and never
+      touches SQLite at all.  Introspect with :meth:`result_cache_info`.
+
+    The engine is thread-safe once a :class:`~repro.serving.
+    ConnectionPool` is attached (:meth:`attach_pool`): every
+    :meth:`execute` then checks a read-only pooled connection out for
+    the duration of its statement, so independent queries — and, via
+    :meth:`execute_parallel`, the independent UNION branches of one
+    translation — run concurrently.  Without a pool, execution uses the
+    store's own (single-threaded) connection, exactly as before.
 
     With ``fallback=True``, :meth:`execute` degrades gracefully: when
     SQL execution times out (:class:`QueryTimeoutError`) or exhausts its
@@ -95,7 +134,9 @@ class SQLXPathEngine:
     _CACHE_LIMIT = 256
 
     def __init__(self, store, translator: PPFTranslator,
-                 fallback: bool = False):
+                 fallback: bool = False,
+                 result_cache_size: int | None = 128,
+                 pool: ConnectionPool | None = None):
         self.store = store
         self.translator = translator
         self.fallback = fallback
@@ -104,37 +145,103 @@ class SQLXPathEngine:
         )
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Guards the translation cache (shared by pool worker threads).
+        self._lock = threading.Lock()
+        self._result_cache = (
+            ResultCache(result_cache_size) if result_cache_size else None
+        )
+        self._pool = pool
+
+    # -- connection pool ---------------------------------------------------------
+
+    @property
+    def pool(self) -> ConnectionPool | None:
+        """The attached read-serving pool, if any."""
+        return self._pool
+
+    def attach_pool(self, pool: ConnectionPool) -> None:
+        """Serve queries from ``pool`` (read-only connections over the
+        store's file) instead of the store's own connection.  This is
+        what makes :meth:`execute` safe to call from many threads."""
+        self._pool = pool
+
+    def detach_pool(self) -> None:
+        """Go back to executing on the store's own connection."""
+        self._pool = None
 
     def translate(self, expression: Union[str, XPathExpr]) -> TranslationResult:
         """Translate without executing (cached for string expressions)."""
         if not isinstance(expression, str):
             return self.translator.translate(expression)
-        cached = self._translation_cache.get(expression)
-        if cached is not None:
-            self._cache_hits += 1
+        with self._lock:
+            cached = self._translation_cache.get(expression)
+            if cached is not None:
+                self._cache_hits += 1
+                self._translation_cache.move_to_end(expression)
+                return cached
+            self._cache_misses += 1
+        # Translate outside the lock: it only reads the (static) schema,
+        # and two threads translating the same novel expression just
+        # produce equal results.
+        translated = self.translator.translate(expression)
+        with self._lock:
+            self._translation_cache[expression] = translated
             self._translation_cache.move_to_end(expression)
-            return cached
-        self._cache_misses += 1
-        cached = self.translator.translate(expression)
-        self._translation_cache[expression] = cached
-        while len(self._translation_cache) > self._CACHE_LIMIT:
-            self._translation_cache.popitem(last=False)
-        return cached
+            while len(self._translation_cache) > self._CACHE_LIMIT:
+                self._translation_cache.popitem(last=False)
+        return translated
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters of the translation cache."""
-        return CacheInfo(
-            self._cache_hits,
-            self._cache_misses,
-            self._CACHE_LIMIT,
-            len(self._translation_cache),
-        )
+        with self._lock:
+            return CacheInfo(
+                self._cache_hits,
+                self._cache_misses,
+                self._CACHE_LIMIT,
+                len(self._translation_cache),
+            )
 
     def cache_clear(self) -> None:
         """Drop all cached translations and reset the counters."""
-        self._translation_cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._lock:
+            self._translation_cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+
+    # -- result cache ------------------------------------------------------------
+
+    def result_cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the result cache (all zeros when the
+        engine was built with ``result_cache_size=None``)."""
+        if self._result_cache is None:
+            return CacheInfo(0, 0, 0, 0)
+        return CacheInfo(*self._result_cache.cache_info())
+
+    def result_cache_clear(self) -> None:
+        """Drop every cached result and reset the counters."""
+        if self._result_cache is not None:
+            self._result_cache.clear()
+
+    def _result_key(self, expression) -> Optional[tuple]:
+        """Cache key for ``expression`` at the store's current
+        generation, or ``None`` when result caching does not apply
+        (non-string expression, caching disabled, or a store with no
+        generation counter)."""
+        if self._result_cache is None or not isinstance(expression, str):
+            return None
+        generation = getattr(self.store, "generation", None)
+        if generation is None:
+            return None
+        return (expression, generation)
+
+    def _cache_result(self, key: Optional[tuple], result: "QueryResult") -> None:
+        """Insert ``result`` unless the store mutated while the query
+        ran (the rows then belong to a newer generation than ``key``
+        claims — recompute on the next call instead of guessing)."""
+        if key is None:
+            return
+        if getattr(self.store, "generation", None) == key[1]:
+            self._result_cache.put(key, result)
 
     def explain(self, expression: Union[str, XPathExpr]) -> str:
         """The SQL text for ``expression``."""
@@ -167,28 +274,24 @@ class SQLXPathEngine:
                 record[0], record[1], bytes(record[2]), value=value
             )
 
-    def execute(self, expression: Union[str, XPathExpr]) -> QueryResult:
-        """Translate and run ``expression`` against the store.
+    def _run_sql(self, sql: str) -> list[tuple]:
+        """Run one statement under the resilience guards — on a pooled
+        read-only connection when a pool is attached, on the store's own
+        connection otherwise."""
+        pool = self._pool
+        if pool is not None:
+            with pool.acquire() as db:
+                return db.guarded_query(sql)
+        return self.store.db.guarded_query(sql)
 
-        Runs under the store connection's resilience policy (query
-        timeout / row cap); with :attr:`fallback` enabled, a timed-out
-        or retry-exhausted SQL execution is answered by the native
-        evaluator instead (``result.served_by == "native"``).
-        """
-        translation = self.translate(expression)
-        if translation.is_empty:
-            return QueryResult([], translation.projection)
-        try:
-            raw = self.store.db.guarded_query(translation.sql)
-        except (QueryTimeoutError, RetryExhaustedError):
-            if not self.fallback:
-                raise
-            fallback_result = self._execute_fallback(
-                expression, translation.projection
-            )
-            if fallback_result is None:
-                raise
-            return fallback_result
+    def _materialize(
+        self, translation: TranslationResult, raw: Iterable[tuple]
+    ) -> QueryResult:
+        """Wrap raw records into a document-ordered :class:`QueryResult`.
+
+        UNION branches each arrive sorted, but their concatenation is
+        not; global document order is enforced here (and splits are
+        deduped)."""
         rows = []
         for record in raw:
             if translation.projection == "nodes":
@@ -204,8 +307,6 @@ class SQLXPathEngine:
                         value=None if value is None else str(value),
                     )
                 )
-        # UNION branches each arrive sorted, but their concatenation is
-        # not; enforce global document order (and dedupe splits).
         unique: dict[int, ResultRow] = {}
         for row in rows:
             unique.setdefault(row.id, row)
@@ -213,6 +314,95 @@ class SQLXPathEngine:
             unique.values(), key=lambda r: (r.doc_id, r.dewey_pos)
         )
         return QueryResult(ordered, translation.projection)
+
+    def execute(self, expression: Union[str, XPathExpr]) -> QueryResult:
+        """Translate and run ``expression`` against the store.
+
+        Runs under the connection's resilience policy (query timeout /
+        row cap); with :attr:`fallback` enabled, a timed-out or
+        retry-exhausted SQL execution is answered by the native
+        evaluator instead (``result.served_by == "native"``).  A result
+        cached for the store's current generation is returned without
+        touching SQLite.
+        """
+        translation = self.translate(expression)
+        if translation.is_empty:
+            return QueryResult([], translation.projection)
+        key = self._result_key(expression)
+        if key is not None:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                return cached
+        try:
+            raw = self._run_sql(translation.sql)
+        except (QueryTimeoutError, RetryExhaustedError):
+            if not self.fallback:
+                raise
+            fallback_result = self._execute_fallback(
+                expression, translation.projection
+            )
+            if fallback_result is None:
+                raise
+            return fallback_result
+        result = self._materialize(translation, raw)
+        self._cache_result(key, result)
+        return result
+
+    def execute_many(
+        self,
+        expressions: Iterable[Union[str, XPathExpr]],
+        max_workers: int = 4,
+    ) -> list[QueryResult]:
+        """Run many independent queries, results in input order.
+
+        With a pool attached, queries fan out over a
+        ``ThreadPoolExecutor`` (at most ``max_workers`` in flight) and
+        overlap inside SQLite; without one they run serially on the
+        store's connection — same results, no concurrency.
+        """
+        expressions = list(expressions)
+        workers = min(max_workers, len(expressions))
+        if self._pool is None or workers <= 1:
+            return [self.execute(expression) for expression in expressions]
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(self.execute, expressions))
+
+    def execute_parallel(
+        self, expression: Union[str, XPathExpr], max_workers: int = 4
+    ) -> QueryResult:
+        """Like :meth:`execute`, but when the translation is a
+        multi-branch UNION (Section 4.4 SQL splitting) and a pool is
+        attached, the branches — independent SELECTs by construction —
+        run concurrently on separate pooled connections and merge into
+        the usual document-ordered result."""
+        translation = self.translate(expression)
+        if translation.is_empty:
+            return QueryResult([], translation.projection)
+        branches = (
+            translation.statement.branches
+            if isinstance(translation.statement, UnionStatement)
+            else []
+        )
+        if self._pool is None or max_workers <= 1 or len(branches) < 2:
+            return self.execute(expression)
+        key = self._result_key(expression)
+        if key is not None:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                return cached
+        workers = min(max_workers, len(branches))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            raws = list(
+                executor.map(
+                    lambda branch: self._run_sql(render_statement(branch)),
+                    branches,
+                )
+            )
+        result = self._materialize(
+            translation, [record for raw in raws for record in raw]
+        )
+        self._cache_result(key, result)
+        return result
 
     # -- graceful degradation ---------------------------------------------------
 
@@ -276,6 +466,10 @@ class PPFEngine(SQLXPathEngine):
     :param fallback: degrade to the native evaluator when SQL execution
         times out or exhausts its retries (requires the store's
         documents to be resident in memory).
+    :param result_cache_size: entries in the generation-keyed result
+        cache (``None`` disables it).
+    :param pool: serve queries from this read-only connection pool
+        (equivalent to calling :meth:`attach_pool` afterwards).
     """
 
     def __init__(
@@ -284,6 +478,8 @@ class PPFEngine(SQLXPathEngine):
         path_filter_optimization: bool = True,
         prefer_fk_joins: bool = True,
         fallback: bool = False,
+        result_cache_size: int | None = 128,
+        pool: ConnectionPool | None = None,
     ):
         adapter = SchemaAwareAdapter(
             store, path_filter_optimization=path_filter_optimization
@@ -292,6 +488,8 @@ class PPFEngine(SQLXPathEngine):
             store,
             PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins),
             fallback=fallback,
+            result_cache_size=result_cache_size,
+            pool=pool,
         )
 
 
@@ -304,10 +502,14 @@ class EdgePPFEngine(SQLXPathEngine):
         store: EdgeStore,
         prefer_fk_joins: bool = True,
         fallback: bool = False,
+        result_cache_size: int | None = 128,
+        pool: ConnectionPool | None = None,
     ):
         adapter = EdgeAdapter(store)
         super().__init__(
             store,
             PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins),
             fallback=fallback,
+            result_cache_size=result_cache_size,
+            pool=pool,
         )

@@ -1,0 +1,30 @@
+"""Concurrent read-serving layer.
+
+The paper's thesis is that PPF translation lets the relational backend
+do the heavy lifting; this package lets the backend actually exploit
+that under concurrency:
+
+* :class:`ConnectionPool` — N pooled read-only :class:`~repro.storage.
+  database.Database` connections over the WAL file a store writes to,
+  checked out per query (each registers ``regexp_like`` and keeps the
+  guard/retry machinery of the resilience layer),
+* :class:`ResultCache` — the bounded second cache tier of the engines:
+  full :class:`~repro.core.engine.QueryResult` objects keyed by
+  ``(xpath, store generation)``, so a hit never touches SQLite and a
+  mutation can never serve a stale answer,
+* :func:`bulk_pragmas` / :func:`iter_chunks` — the pragma scope and
+  batching primitives behind ``ShreddedStore.bulk_load`` /
+  ``EdgeStore.bulk_load``.
+"""
+
+from repro.serving.bulk import bulk_pragmas, iter_chunks
+from repro.serving.cache import CacheInfo, ResultCache
+from repro.serving.pool import ConnectionPool
+
+__all__ = [
+    "CacheInfo",
+    "ConnectionPool",
+    "ResultCache",
+    "bulk_pragmas",
+    "iter_chunks",
+]

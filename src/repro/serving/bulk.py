@@ -1,0 +1,51 @@
+"""Primitives of the bulk-load fast path.
+
+Initial loads are write-only and easily re-run, so they can trade
+durability for speed while they run: :func:`bulk_pragmas` turns off
+fsyncs (``synchronous=OFF``) and keeps spill structures in memory
+(``temp_store=MEMORY``) for the duration of a load, then restores the
+connection's previous settings — the store integrity-checks the loaded
+rows before the scope ends, so a crash mid-load loses only the load
+itself, never a previously committed state.  :func:`iter_chunks` slices
+row streams into bounded ``executemany`` batches.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.storage.database import Database
+
+#: Rows per ``executemany`` batch during bulk loads.
+DEFAULT_CHUNK_ROWS = 512
+
+
+@contextmanager
+def bulk_pragmas(db: Database) -> Iterator[None]:
+    """Scope with ``synchronous=OFF`` / ``temp_store=MEMORY``; the
+    previous values are restored on exit (success or failure).
+
+    Callers must commit inside the scope — changing ``synchronous``
+    mid-transaction is undefined, so the restore has to happen back in
+    autocommit mode.
+    """
+    previous_sync = db.query_one("PRAGMA synchronous")[0]
+    previous_temp = db.query_one("PRAGMA temp_store")[0]
+    db.execute("PRAGMA synchronous = OFF")
+    db.execute("PRAGMA temp_store = MEMORY")
+    try:
+        yield
+    finally:
+        db.execute(f"PRAGMA synchronous = {int(previous_sync)}")
+        db.execute(f"PRAGMA temp_store = {int(previous_temp)}")
+
+
+def iter_chunks(
+    rows: Sequence, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Iterator[Sequence]:
+    """Yield ``rows`` in slices of at most ``chunk_rows``."""
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    for start in range(0, len(rows), chunk_rows):
+        yield rows[start:start + chunk_rows]

@@ -1,0 +1,79 @@
+"""The result-cache tier of the engines' two-tier cache.
+
+Tier one (per engine, unchanged) caches *translations* — they depend
+only on the schema, which is static for a store's lifetime.  Tier two,
+this module, caches whole :class:`~repro.core.engine.QueryResult`
+objects keyed by ``(xpath, store generation)``.  The store bumps its
+generation counter on every mutation (``load`` / ``bulk_load`` /
+``append_subtree`` / ``delete_*`` / ``update_*``), so a stale entry's
+key can simply never be asked for again — hits after a mutation miss by
+construction, and LRU eviction reclaims the dead generations.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, namedtuple
+from typing import Any, Hashable
+
+#: Hit/miss statistics, shaped like ``functools.lru_cache``'s.
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU mapping of query keys to results.
+
+    Cached values are shared between callers — treat them as immutable
+    (the engines' :class:`QueryResult` rows are frozen dataclasses).
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry on
+        overflow."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and occupancy."""
+        with self._lock:
+            return CacheInfo(
+                self._hits, self._misses, self.maxsize, len(self._entries)
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -28,8 +28,8 @@ import re
 import sqlite3
 import threading
 import time
+from collections import OrderedDict, namedtuple
 from contextlib import contextmanager
-from functools import lru_cache
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import (
@@ -45,10 +45,65 @@ from repro.resilience.retry import run_with_retry
 #: Rows fetched per chunk while enforcing ``max_rows``.
 _FETCH_CHUNK = 256
 
+#: Hit/miss statistics of :class:`RegexCache` (same shape as
+#: ``functools.lru_cache``'s info tuple).
+RegexCacheInfo = namedtuple(
+    "RegexCacheInfo", ["hits", "misses", "maxsize", "currsize"]
+)
 
-@lru_cache(maxsize=512)
-def _compiled(pattern: str) -> re.Pattern:
-    return re.compile(pattern)
+
+class RegexCache:
+    """Process-global, thread-safe compiled-pattern LRU.
+
+    Every :class:`Database` — including the read-only connections a
+    :class:`repro.serving.ConnectionPool` hands out — funnels its
+    ``regexp_like`` patterns through one shared instance, so a pattern
+    compiled on any connection is a hit on all of them.  Lookups take a
+    lock (safe under free-threaded Python, where unsynchronized dict
+    mutation is a race); compilation itself happens outside the lock, so
+    two threads may compile the same novel pattern once each — both
+    results are equivalent and the second simply wins the slot.
+    """
+
+    def __init__(self, maxsize: int = 512):
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, re.Pattern] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __call__(self, pattern: str) -> re.Pattern:
+        with self._lock:
+            entry = self._entries.get(pattern)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(pattern)
+                return entry
+            self._misses += 1
+        compiled = re.compile(pattern)
+        with self._lock:
+            self._entries[pattern] = compiled
+            self._entries.move_to_end(pattern)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return compiled
+
+    def cache_info(self) -> RegexCacheInfo:
+        with self._lock:
+            return RegexCacheInfo(
+                self._hits, self._misses, self.maxsize, len(self._entries)
+            )
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: The one shared pattern cache (kept under the historical name —
+#: callers treat it like the ``lru_cache``-wrapped function it replaced).
+_compiled = RegexCache(maxsize=512)
 
 
 def _as_text(value: Any) -> str | None:
@@ -373,6 +428,17 @@ class Database:
         self.connection.close()
 
     # -- diagnostics ----------------------------------------------------------------
+
+    @property
+    def path(self) -> str | None:
+        """Filesystem path of the main database, or ``None`` for an
+        in-memory (or temporary) database.  This is what a
+        :class:`repro.serving.ConnectionPool` opens its read-only
+        sibling connections against."""
+        for row in self.query("PRAGMA database_list"):
+            if row[1] == "main":
+                return row[2] or None
+        return None  # pragma: no cover - main is always listed
 
     def query_plan(self, sql: str) -> list[str]:
         """The EXPLAIN QUERY PLAN detail lines for ``sql``."""

@@ -22,6 +22,13 @@ from repro.storage.database import Database
 from repro.storage.paths import PathIndex
 from repro.xmltree.nodes import Document
 
+_EDGE_INDEX_DDL = {
+    "idx_edge_par": "CREATE INDEX idx_edge_par ON edge(par_id)",
+    "idx_edge_name": "CREATE INDEX idx_edge_name ON edge(name)",
+    "idx_edge_dewey": "CREATE INDEX idx_edge_dewey ON edge(dewey_pos, path_id)",
+    "idx_attrs_name": "CREATE INDEX idx_attrs_name ON attrs(name, value)",
+}
+
 _EDGE_DDL = [
     """
     CREATE TABLE IF NOT EXISTS docs (
@@ -42,9 +49,9 @@ _EDGE_DDL = [
         text      TEXT
     )
     """,
-    "CREATE INDEX idx_edge_par ON edge(par_id)",
-    "CREATE INDEX idx_edge_name ON edge(name)",
-    "CREATE INDEX idx_edge_dewey ON edge(dewey_pos, path_id)",
+    _EDGE_INDEX_DDL["idx_edge_par"],
+    _EDGE_INDEX_DDL["idx_edge_name"],
+    _EDGE_INDEX_DDL["idx_edge_dewey"],
     """
     CREATE TABLE attrs (
         elem_id INTEGER NOT NULL REFERENCES edge(id),
@@ -53,7 +60,7 @@ _EDGE_DDL = [
         PRIMARY KEY (elem_id, name)
     )
     """,
-    "CREATE INDEX idx_attrs_name ON attrs(name, value)",
+    _EDGE_INDEX_DDL["idx_attrs_name"],
 ]
 
 
@@ -72,6 +79,17 @@ class EdgeStore:
         self._document_bases: dict[int, int] = {}
         count_row = db.query_one("SELECT COUNT(*) FROM docs")
         self._documents_resident = not (count_row and count_row[0])
+        #: Monotonic mutation counter (see ``ShreddedStore.generation``).
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Current mutation-counter value; the engines' result cache
+        keys on it."""
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
 
     @classmethod
     def create(cls, db: Database) -> "EdgeStore":
@@ -129,9 +147,63 @@ class EdgeStore:
         self._next_base = base + count
         self.documents[doc_id] = document
         self._document_bases[doc_id] = base
+        self._bump_generation()
         return doc_id
 
-    def _write_document(self, document: Document, base: int) -> tuple[int, int]:
+    def bulk_load(self, documents, chunk_rows: int | None = None) -> list[int]:
+        """Load many documents through the fast path (see
+        :meth:`ShreddedStore.bulk_load`): secondary indexes dropped and
+        rebuilt once, chunked ``executemany`` batches, batched `Paths`
+        inserts, ``synchronous=OFF`` / ``temp_store=MEMORY`` for the
+        duration, one savepoint verified by a store-wide referential
+        check at exit.
+
+        :returns: the assigned ``doc_id``s, in input order.
+        """
+        documents = list(documents)
+        if not documents:
+            return []
+        from repro.serving.bulk import DEFAULT_CHUNK_ROWS, bulk_pragmas
+
+        chunk = chunk_rows if chunk_rows else DEFAULT_CHUNK_ROWS
+        loaded: list[tuple[int, Document, int]] = []
+        next_base = self._next_base
+        with bulk_pragmas(self.db):
+            try:
+                with self.db.savepoint("repro_bulk_load"):
+                    for name in _EDGE_INDEX_DDL:
+                        self.db.execute(f"DROP INDEX IF EXISTS {name}")
+                    for document in documents:
+                        self.path_index.ensure_many(
+                            document.distinct_paths()
+                        )
+                        doc_id, count = self._write_document(
+                            document, next_base, chunk_rows=chunk
+                        )
+                        loaded.append((doc_id, document, next_base))
+                        next_base += count
+                    for statement in _EDGE_INDEX_DDL.values():
+                        self.db.execute(statement)
+                    issues = check_referential_integrity(self.db, ["edge"])
+                    if issues:
+                        raise StoreIntegrityError(
+                            "bulk-load integrity check failed: "
+                            + "; ".join(str(issue) for issue in issues)
+                        )
+            except BaseException:
+                self.path_index.refresh()
+                raise
+            self.db.commit()
+        for doc_id, document, base in loaded:
+            self.documents[doc_id] = document
+            self._document_bases[doc_id] = base
+        self._next_base = next_base
+        self._bump_generation()
+        return [doc_id for doc_id, _, _ in loaded]
+
+    def _write_document(
+        self, document: Document, base: int, chunk_rows: int | None = None
+    ) -> tuple[int, int]:
         """Insert all rows of ``document``; returns (doc_id, count)."""
         cursor = self.db.execute(
             "INSERT INTO docs (name, base, node_count) VALUES (?, ?, 0)",
@@ -159,15 +231,21 @@ class EdgeStore:
             )
             for attr_name, value in element.attributes.items():
                 attr_rows.append((global_id, attr_name, value))
-        self.db.executemany(
+        edge_sql = (
             "INSERT INTO edge (id, doc_id, par_id, name, path_id, dewey_pos,"
-            " text) VALUES (?, ?, ?, ?, ?, ?, ?)",
-            edge_rows,
+            " text) VALUES (?, ?, ?, ?, ?, ?, ?)"
         )
-        self.db.executemany(
-            "INSERT INTO attrs (elem_id, name, value) VALUES (?, ?, ?)",
-            attr_rows,
-        )
+        attr_sql = "INSERT INTO attrs (elem_id, name, value) VALUES (?, ?, ?)"
+        if chunk_rows is None:
+            self.db.executemany(edge_sql, edge_rows)
+            self.db.executemany(attr_sql, attr_rows)
+        else:
+            from repro.serving.bulk import iter_chunks
+
+            for batch in iter_chunks(edge_rows, chunk_rows):
+                self.db.executemany(edge_sql, batch)
+            for batch in iter_chunks(attr_rows, chunk_rows):
+                self.db.executemany(attr_sql, batch)
         self.db.execute(
             "UPDATE docs SET node_count = ? WHERE id = ?", (count, doc_id)
         )

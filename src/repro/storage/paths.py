@@ -5,9 +5,17 @@ relation, ``paths(id, path)``; every mapping relation carries a
 ``path_id`` foreign key into it.  The index fills gradually during
 insertion, exactly as the paper describes, with an in-memory cache so
 loading is one lookup per element.
+
+The cache is guarded by a lock: translation (which may run on pool
+worker threads) reads it while a loader thread fills it.  All writes to
+the relation itself still belong to the store's single writer
+connection.
 """
 
 from __future__ import annotations
+
+import threading
+from typing import Iterable
 
 from repro.storage.database import Database
 
@@ -25,6 +33,7 @@ class PathIndex:
     def __init__(self, db: Database):
         self.db = db
         db.execute(PATHS_TABLE_DDL)
+        self._lock = threading.Lock()
         self._cache: dict[str, int] = {
             path: path_id
             for path_id, path in db.query("SELECT id, path FROM paths")
@@ -32,15 +41,40 @@ class PathIndex:
 
     def ensure(self, path: str) -> int:
         """Id of ``path``, inserting it on first sight."""
-        path_id = self._cache.get(path)
+        with self._lock:
+            path_id = self._cache.get(path)
         if path_id is not None:
             return path_id
         cursor = self.db.execute(
             "INSERT INTO paths (path) VALUES (?)", (path,)
         )
         path_id = int(cursor.lastrowid)
-        self._cache[path] = path_id
+        with self._lock:
+            self._cache[path] = path_id
         return path_id
+
+    def ensure_many(self, paths: Iterable[str]) -> dict[str, int]:
+        """Ids for all of ``paths``, inserting the unseen ones in one
+        batch (the bulk-load fast path: one ``executemany`` instead of a
+        round-trip per new path)."""
+        wanted = list(dict.fromkeys(paths))
+        with self._lock:
+            missing = [p for p in wanted if p not in self._cache]
+        if missing:
+            self.db.executemany(
+                "INSERT OR IGNORE INTO paths (path) VALUES (?)",
+                [(p,) for p in missing],
+            )
+            fetched = {}
+            for path in missing:
+                row = self.db.query_one(
+                    "SELECT id FROM paths WHERE path = ?", (path,)
+                )
+                fetched[path] = int(row[0])
+            with self._lock:
+                self._cache.update(fetched)
+        with self._lock:
+            return {p: self._cache[p] for p in wanted}
 
     def refresh(self) -> None:
         """Rebuild the in-memory cache from the database.
@@ -49,18 +83,23 @@ class PathIndex:
         aborted savepoint are gone from the relation but would otherwise
         linger in the cache, handing out ids that reference nothing.
         """
-        self._cache = {
+        rebuilt = {
             path: path_id
             for path_id, path in self.db.query("SELECT id, path FROM paths")
         }
+        with self._lock:
+            self._cache = rebuilt
 
     def lookup(self, path: str) -> int | None:
         """Id of ``path`` if present."""
-        return self._cache.get(path)
+        with self._lock:
+            return self._cache.get(path)
 
     def all_paths(self) -> dict[str, int]:
         """Snapshot of the whole index (path -> id)."""
-        return dict(self._cache)
+        with self._lock:
+            return dict(self._cache)
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)

@@ -202,34 +202,60 @@ class SchemaAwareMapping:
         """CREATE TABLE / CREATE INDEX statements for all relations."""
         statements = []
         for info in self.relations.values():
-            columns = [
-                "id INTEGER PRIMARY KEY",
-                "doc_id INTEGER NOT NULL",
-                "par_id INTEGER",
-                "path_id INTEGER NOT NULL REFERENCES paths(id)",
-                "dewey_pos BLOB NOT NULL",
-            ]
-            if info.shared:
-                columns.append("elname TEXT NOT NULL")
-            if info.text_kind is not None:
-                sql_type = "NUMERIC" if info.text_kind == "number" else "TEXT"
-                columns.append(f"text {sql_type}")
-            for column, kind in info.attr_columns.values():
-                sql_type = "NUMERIC" if kind == "number" else "TEXT"
-                columns.append(f"{column} {sql_type}")
-            statements.append(
-                f"CREATE TABLE {info.table} (\n  "
-                + ",\n  ".join(columns)
-                + "\n)"
-            )
-            statements.append(
-                f"CREATE INDEX idx_{info.table}_par ON {info.table}(par_id)"
-            )
-            statements.append(
-                f"CREATE INDEX idx_{info.table}_dewey "
-                f"ON {info.table}(dewey_pos, path_id)"
-            )
+            statements.append(self._table_ddl(info))
+            statements.extend(self._index_ddl(info))
         return statements
+
+    def index_ddl(self) -> list[str]:
+        """Only the secondary-index statements (Section 3.1's parent-FK
+        and ``(dewey_pos, path_id)`` indexes).  The bulk-load fast path
+        re-runs these after the rows land, which is far cheaper than
+        maintaining the trees row by row."""
+        return [
+            statement
+            for info in self.relations.values()
+            for statement in self._index_ddl(info)
+        ]
+
+    def drop_index_ddl(self) -> list[str]:
+        """DROP statements matching :meth:`index_ddl`."""
+        return [
+            statement
+            for info in self.relations.values()
+            for statement in (
+                f"DROP INDEX IF EXISTS idx_{info.table}_par",
+                f"DROP INDEX IF EXISTS idx_{info.table}_dewey",
+            )
+        ]
+
+    def _table_ddl(self, info: RelationInfo) -> str:
+        columns = [
+            "id INTEGER PRIMARY KEY",
+            "doc_id INTEGER NOT NULL",
+            "par_id INTEGER",
+            "path_id INTEGER NOT NULL REFERENCES paths(id)",
+            "dewey_pos BLOB NOT NULL",
+        ]
+        if info.shared:
+            columns.append("elname TEXT NOT NULL")
+        if info.text_kind is not None:
+            sql_type = "NUMERIC" if info.text_kind == "number" else "TEXT"
+            columns.append(f"text {sql_type}")
+        for column, kind in info.attr_columns.values():
+            sql_type = "NUMERIC" if kind == "number" else "TEXT"
+            columns.append(f"{column} {sql_type}")
+        return (
+            f"CREATE TABLE {info.table} (\n  "
+            + ",\n  ".join(columns)
+            + "\n)"
+        )
+
+    def _index_ddl(self, info: RelationInfo) -> list[str]:
+        return [
+            f"CREATE INDEX idx_{info.table}_par ON {info.table}(par_id)",
+            f"CREATE INDEX idx_{info.table}_dewey "
+            f"ON {info.table}(dewey_pos, path_id)",
+        ]
 
 
 _DOCS_DDL = """
@@ -265,6 +291,13 @@ class ShreddedStore:
         self.marking = marking
         self.path_index = PathIndex(db)
         self._next_base = self._initial_base()
+        #: Monotonic mutation counter: bumps on every ``load`` /
+        #: ``bulk_load`` / ``append_subtree`` / ``delete_*`` /
+        #: ``update_*``.  The engines' result cache keys on it, so a
+        #: mutation implicitly invalidates every cached answer.  Only
+        #: mutations made *through this store object* count — writers on
+        #: other connections (or processes) are invisible to it.
+        self._generation = 0
         #: In-memory copies of documents loaded through this store
         #: instance (doc_id -> (Document, base)); used by the engines'
         #: native-evaluator fallback.
@@ -319,6 +352,14 @@ class ShreddedStore:
         row = self.db.query_one("SELECT COALESCE(MAX(base + node_count), 0) FROM docs")
         return int(row[0]) if row and row[0] is not None else 0
 
+    @property
+    def generation(self) -> int:
+        """Current mutation-counter value (see ``_generation``)."""
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+
     # -- loading -----------------------------------------------------------------
 
     def load(self, document: Document) -> int:
@@ -364,9 +405,81 @@ class ShreddedStore:
         self._next_base = base + count
         self.documents[doc_id] = document
         self._document_bases[doc_id] = base
+        self._bump_generation()
         return doc_id
 
-    def _write_document(self, document: Document, base: int) -> tuple[int, int]:
+    def bulk_load(self, documents, chunk_rows: int | None = None) -> list[int]:
+        """Load many documents through the fast path.
+
+        Meant for initial loads: secondary indexes are dropped up front
+        and rebuilt once after every row lands (index maintenance per
+        row is what dominates ``load`` loops), rows go in as bounded
+        ``executemany`` chunks, new `Paths` entries are ensured in one
+        batch per document, and the whole load runs with
+        ``synchronous=OFF`` / ``temp_store=MEMORY`` (restored at exit).
+        Everything happens inside one savepoint verified by a store-wide
+        referential integrity check, so a failure rolls the store — and
+        its indexes — back to the pre-call state.
+
+        Note the per-document :func:`check_document_load` of :meth:`load`
+        is replaced by the single store-wide check; on an already
+        populated store the index rebuild re-sorts existing rows too, so
+        the speedup is largest on a fresh store.
+
+        :returns: the assigned ``doc_id``s, in input order.
+        """
+        documents = list(documents)
+        if not documents:
+            return []
+        for document in documents:
+            if not self.schema.conforms(document):
+                raise StorageError(
+                    f"document {document.name!r} does not conform to the "
+                    f"schema"
+                )
+        from repro.serving.bulk import DEFAULT_CHUNK_ROWS, bulk_pragmas
+
+        chunk = chunk_rows if chunk_rows else DEFAULT_CHUNK_ROWS
+        loaded: list[tuple[int, Document, int]] = []
+        next_base = self._next_base
+        with bulk_pragmas(self.db):
+            try:
+                with self.db.savepoint("repro_bulk_load"):
+                    for statement in self.mapping.drop_index_ddl():
+                        self.db.execute(statement)
+                    for document in documents:
+                        self.path_index.ensure_many(
+                            document.distinct_paths()
+                        )
+                        doc_id, count = self._write_document(
+                            document, next_base, chunk_rows=chunk
+                        )
+                        loaded.append((doc_id, document, next_base))
+                        next_base += count
+                    for statement in self.mapping.index_ddl():
+                        self.db.execute(statement)
+                    issues = check_referential_integrity(
+                        self.db, list(self.mapping.relations)
+                    )
+                    if issues:
+                        raise StoreIntegrityError(
+                            "bulk-load integrity check failed: "
+                            + "; ".join(str(issue) for issue in issues)
+                        )
+            except BaseException:
+                self.path_index.refresh()
+                raise
+            self.db.commit()
+        for doc_id, document, base in loaded:
+            self.documents[doc_id] = document
+            self._document_bases[doc_id] = base
+        self._next_base = next_base
+        self._bump_generation()
+        return [doc_id for doc_id, _, _ in loaded]
+
+    def _write_document(
+        self, document: Document, base: int, chunk_rows: int | None = None
+    ) -> tuple[int, int]:
         """Insert all rows of ``document``; returns (doc_id, count)."""
         count = 0
         rows_by_relation: dict[str, list[tuple]] = {}
@@ -385,8 +498,15 @@ class ShreddedStore:
             rows_by_relation[info.table].append(
                 self._row_for(element, info, doc_id, base)
             )
-        for table, rows in rows_by_relation.items():
-            self.db.executemany(insert_sql[table], rows)
+        if chunk_rows is None:
+            for table, rows in rows_by_relation.items():
+                self.db.executemany(insert_sql[table], rows)
+        else:
+            from repro.serving.bulk import iter_chunks
+
+            for table, rows in rows_by_relation.items():
+                for batch in iter_chunks(rows, chunk_rows):
+                    self.db.executemany(insert_sql[table], batch)
         self.db.execute(
             "UPDATE docs SET node_count = ? WHERE id = ?", (count, doc_id)
         )
@@ -501,6 +621,7 @@ class ShreddedStore:
         self.db.commit()
         self.documents.pop(doc_id, None)
         self._document_bases.pop(doc_id, None)
+        self._bump_generation()
         return removed
 
     def append_subtree(self, parent_global_id: int, element: ElementNode) -> list[int]:
@@ -583,6 +704,7 @@ class ShreddedStore:
         self.db.commit()
         self._next_base = base + len(new_ids)
         self._mark_documents_stale()
+        self._bump_generation()
         return new_ids
 
     def _next_child_ordinal(self, parent_global_id: int) -> int:
@@ -660,6 +782,7 @@ class ShreddedStore:
             removed += cursor.rowcount
         self.db.commit()
         self._mark_documents_stale()
+        self._bump_generation()
         return removed
 
     def update_text(self, global_id: int, value) -> None:
@@ -679,6 +802,7 @@ class ShreddedStore:
         )
         self.db.commit()
         self._mark_documents_stale()
+        self._bump_generation()
 
     def update_attribute(self, global_id: int, name: str, value) -> None:
         """Set one attribute of one element (``None`` removes it).
@@ -695,6 +819,7 @@ class ShreddedStore:
         )
         self.db.commit()
         self._mark_documents_stale()
+        self._bump_generation()
 
     def _locate(self, global_id: int) -> tuple[int, bytes] | None:
         """(doc_id, dewey_pos) of an element, searching all relations."""

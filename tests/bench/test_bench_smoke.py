@@ -1,0 +1,50 @@
+"""Miniature run of the serving benchmark trajectory (`-m bench_smoke`):
+the structure of BENCH_PR2.json, not the absolute numbers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import collect, write_json
+from repro.workloads.xpathmark import XPATHMARK_QUERIES
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_trajectory_payload_structure(tmp_path):
+    payload = collect(
+        scale=0.5,
+        worker_counts=(1, 2),
+        repeats=1,
+        bulk_docs=2,
+        bulk_scale=0.5,
+        workdir=str(tmp_path),
+    )
+
+    assert payload["meta"]["workload"] == "xmark-small"
+    assert payload["meta"]["elements"] > 0
+    assert payload["meta"]["query_count"] == len(XPATHMARK_QUERIES)
+
+    assert len(payload["queries"]) == len(XPATHMARK_QUERIES)
+    for entry in payload["queries"]:
+        assert entry["seconds"] >= 0.0
+        assert entry["nodes"] >= 0
+        assert entry["xpath"]
+
+    runs = payload["serving_throughput"]["runs"]
+    assert [run["workers"] for run in runs] == [1, 2]
+    assert runs[0]["speedup_vs_serial"] == 1.0
+    for run in runs:
+        assert run["queries_per_second"] > 0
+
+    bulk = payload["bulk_load"]
+    assert bulk["documents"] == 2
+    assert bulk["load_loop_seconds"] > 0
+    assert bulk["bulk_seconds"] > 0
+    assert bulk["speedup"] > 0
+
+    out = tmp_path / "bench.json"
+    write_json(payload, str(out))
+    assert json.loads(out.read_text())["meta"] == payload["meta"]

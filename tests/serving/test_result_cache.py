@@ -1,0 +1,209 @@
+"""The result-cache tier: generation keying, SQLite bypass on hits,
+invalidation on every mutator, and the `QueryResult.values` contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    EdgePPFEngine,
+    EdgeStore,
+    PPFEngine,
+    ResultCache,
+    ShreddedStore,
+    infer_schema,
+    parse_document,
+    parse_fragment,
+)
+
+XML = (
+    "<lib>"
+    "<book id='b1'><title>Alpha</title><price>10</price></book>"
+    "<book id='b2'><title>Beta</title><price>20</price></book>"
+    "</lib>"
+)
+
+
+def make_store():
+    doc = parse_document(XML, name="lib")
+    store = ShreddedStore.create(Database.memory(), infer_schema([doc]))
+    store.load(doc)
+    return store
+
+
+class QuerySpy:
+    """Counts the SQL statements an engine actually sends to SQLite."""
+
+    def __init__(self, db):
+        self.db = db
+        self.calls = 0
+        self._original = db.guarded_query
+        db.guarded_query = self._spy
+
+    def _spy(self, sql, params=()):
+        self.calls += 1
+        return self._original(sql, params)
+
+
+class TestResultCacheUnit:
+    def test_lru_eviction_and_counters(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts "b" (LRU)
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        info = cache.cache_info()
+        assert info.hits == 2 and info.misses == 1
+        assert info.currsize == 2 and info.maxsize == 2
+
+    def test_clear_resets(self):
+        cache = ResultCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cache_info() == (0, 0, 4, 0)
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+
+class TestEngineResultCache:
+    def test_hit_skips_sqlite_entirely(self):
+        store = make_store()
+        engine = PPFEngine(store)
+        first = engine.execute("//book")
+        spy = QuerySpy(store.db)
+        second = engine.execute("//book")
+        assert spy.calls == 0  # served from cache, no SQLite touch
+        assert second is first
+        info = engine.result_cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_every_mutator_invalidates(self):
+        store = make_store()
+        engine = PPFEngine(store)
+        baseline = engine.execute("//book").ids
+
+        # append_subtree
+        generation = store.generation
+        store.append_subtree(
+            engine.execute("/lib").ids[0],
+            parse_fragment(
+                "<book id='b3'><title>Gamma</title><price>5</price></book>"
+            ),
+        )
+        assert store.generation > generation
+        grown = engine.execute("//book").ids
+        assert len(grown) == len(baseline) + 1
+
+        # update_text must invalidate the cached values
+        title_id = engine.execute("//book/title").ids[0]
+        assert "Alpha" in engine.execute("//title/text()").values
+        store.update_text(title_id, "Omega")
+        assert "Alpha" not in engine.execute("//title/text()").values
+        assert "Omega" in engine.execute("//title/text()").values
+
+        # update_attribute
+        book_id = engine.execute("//book").ids[0]
+        store.update_attribute(book_id, "id", "zz")
+        assert engine.execute("//book[@id='zz']").ids == [book_id]
+
+        # delete_subtree
+        removed = engine.execute("//book[@id='b2']").ids[0]
+        store.delete_subtree(removed)
+        assert removed not in engine.execute("//book").ids
+
+    def test_delete_document_and_load_invalidate(self):
+        store = make_store()
+        engine = PPFEngine(store)
+        assert len(engine.execute("//book")) == 2
+        doc2 = parse_document(XML.replace("b1", "c1").replace("b2", "c2"),
+                              name="lib2")
+        store.load(doc2)
+        assert len(engine.execute("//book")) == 4
+        store.delete_document(1)
+        assert len(engine.execute("//book")) == 2
+
+    def test_cache_disabled(self):
+        store = make_store()
+        engine = PPFEngine(store, result_cache_size=None)
+        engine.execute("//book")
+        spy = QuerySpy(store.db)
+        engine.execute("//book")
+        assert spy.calls == 1
+        assert engine.result_cache_info() == (0, 0, 0, 0)
+
+    def test_result_cache_clear(self):
+        store = make_store()
+        engine = PPFEngine(store)
+        engine.execute("//book")
+        engine.result_cache_clear()
+        spy = QuerySpy(store.db)
+        engine.execute("//book")
+        assert spy.calls == 1
+
+    def test_edge_engine_caches_too(self):
+        doc = parse_document(XML, name="lib")
+        store = EdgeStore.create(Database.memory())
+        store.load(doc)
+        engine = EdgePPFEngine(store)
+        first = engine.execute("//book")
+        spy = QuerySpy(store.db)
+        assert engine.execute("//book") is first
+        assert spy.calls == 0
+        # load through the store invalidates
+        store.load(parse_document(XML, name="lib2"))
+        assert len(engine.execute("//book")) == 4
+
+
+class TestValuesContract:
+    """Satellite: the documented `values`/`ids` alignment contract.
+
+    The translator guards every value projection with ``IS NOT NULL``
+    (an element without text has no text *node*), so engine-served
+    results keep `values` and `ids` aligned by construction; the
+    explicit sentinel lives in `values_aligned` for rows built by other
+    means."""
+
+    def test_sql_excludes_null_projections_so_ids_and_values_align(self):
+        doc = parse_document(
+            "<r><e>one</e><e/><e>three</e></r>", name="r"
+        )
+        store = ShreddedStore.create(Database.memory(), infer_schema([doc]))
+        store.load(doc)
+        engine = PPFEngine(store)
+        assert "IS NOT NULL" in engine.explain("//e/text()")
+        result = engine.execute("//e/text()")
+        # <e/> has no text node: excluded from rows, ids AND values.
+        assert len(result.ids) == 2
+        assert result.values == ["one", "three"]
+        assert result.values_aligned == result.values
+
+    def test_absent_attribute_rows_are_excluded_too(self):
+        doc = parse_document(
+            "<r><e k='1'/><e/><e k='3'/></r>", name="r"
+        )
+        store = ShreddedStore.create(Database.memory(), infer_schema([doc]))
+        store.load(doc)
+        result = PPFEngine(store).execute("//e/@k")
+        assert len(result.ids) == 2
+        assert result.values == ["1", "3"]
+        assert result.values_aligned == result.values
+
+    def test_values_aligned_preserves_hand_built_none_rows(self):
+        from repro.core.engine import QueryResult, ResultRow
+
+        rows = [
+            ResultRow(1, 1, b"\x01", value="one"),
+            ResultRow(2, 1, b"\x02", value=None),
+            ResultRow(3, 1, b"\x03", value="three"),
+        ]
+        result = QueryResult(rows, "text")
+        assert result.values == ["one", "three"]  # drops the None
+        assert result.values_aligned == ["one", None, "three"]
+        assert len(result.values_aligned) == len(result.ids)
