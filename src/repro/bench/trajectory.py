@@ -2,13 +2,16 @@
 
 Collects, against a file-backed XMark store,
 
-* per-query wall times and result cardinalities for the XPathMark set,
+* per-query wall times, result cardinalities and optimizer plan stats
+  (which passes fired, branch/scan/`Paths`-join counts before vs after
+  the pass pipeline) for the XPathMark set,
+* workload-wide optimizer pass hit counts,
 * ``execute_many`` throughput (queries/second) at several pool sizes,
   with the speedup over the serial single-connection run, and
 * the bulk-load fast path (:meth:`ShreddedStore.bulk_load`) against the
   equivalent per-document ``load`` loop.
 
-``python benchmarks/run_experiments.py --json BENCH_PR2.json`` writes
+``python benchmarks/run_experiments.py --json BENCH_PR4.json`` writes
 the payload; ``pytest -m bench_smoke`` runs a miniature of the same
 collection as a structural check.
 """
@@ -96,14 +99,36 @@ def _collect_in(
     #    must actually hit SQLite) ---------------------------------------
     engine = PPFEngine(store, result_cache_size=None)
     per_query = []
+    pass_hits: dict[str, int] = {
+        name: 0 for name in engine.translator.pass_names
+    }
     for query in queries:
         seconds, count = time_engine(engine, query.xpath, repeats=repeats)
+        translation = engine.translate(query.xpath)
+        fired = translation.fired_passes()
+        for name in fired:
+            pass_hits[name] = pass_hits.get(name, 0) + 1
+        before = translation.plan_stats_before or {}
+        after = translation.plan_stats_after or {}
         per_query.append(
             {
                 "qid": query.qid,
                 "xpath": query.xpath,
                 "seconds": round(seconds, 6),
                 "nodes": count,
+                "plan": {
+                    "fired_passes": fired,
+                    "branches": [
+                        before.get("branches", 0), after.get("branches", 0)
+                    ],
+                    "scans": [
+                        before.get("scans", 0), after.get("scans", 0)
+                    ],
+                    "paths_joins": [
+                        before.get("paths_joins", 0),
+                        after.get("paths_joins", 0),
+                    ],
+                },
             }
         )
 
@@ -172,6 +197,12 @@ def _collect_in(
             "cpus": os.cpu_count(),
         },
         "queries": per_query,
+        "optimizer": {
+            "passes": list(engine.translator.pass_names),
+            "note": "hit counts over the workload; per-query "
+            "before/after plan stats under queries[].plan",
+            "pass_hits": pass_hits,
+        },
         "serving_throughput": {
             "workload_queries": len(xpaths),
             "note": "thread-level speedup is bounded by the CPUs "

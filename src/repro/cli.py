@@ -119,9 +119,26 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    """``repro explain`` — print the generated SQL."""
+    """``repro explain`` — print the generated SQL (and, with
+    ``--plan``, the optimized logical plan and per-pass report)."""
     store = _open_store(args.database)
-    print(PPFEngine(store).explain(args.xpath))
+    report = PPFEngine(store).explain(args.xpath)
+    if getattr(args, "plan", False):
+        print("-- logical plan:")
+        print(report.plan_text())
+        print("-- optimizer passes:")
+        for pass_report in report.pass_reports:
+            print(f"  {pass_report.summary()}")
+        before, after = report.stats_before, report.stats_after
+        if before and after:
+            changed = ", ".join(
+                f"{key} {before[key]}->{after[key]}"
+                for key in sorted(before)
+                if before[key] != after.get(key)
+            )
+            print(f"-- plan stats: {changed or 'unchanged'}")
+        print("-- SQL:")
+    print(report)
     return 0
 
 
@@ -235,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain = commands.add_parser("explain", help="show the generated SQL")
     explain.add_argument("database")
     explain.add_argument("xpath")
+    explain.add_argument(
+        "--plan",
+        action="store_true",
+        help="also print the optimized logical plan and which "
+        "optimizer passes fired",
+    )
     explain.set_defaults(handler=cmd_explain)
 
     info = commands.add_parser("info", help="store statistics")

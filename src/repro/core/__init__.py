@@ -5,10 +5,11 @@
 * :mod:`repro.core.fragments`   — Primitive Path Fragment identification
   (Section 4.1, Definition),
 * :mod:`repro.core.adapters`    — the mapping-specific parts of the
-  translation (schema-aware vs. Edge-like), including the Section 4.5
-  path-filter omission,
-* :mod:`repro.core.translator`  — Algorithm 1: gradual SQL building per
-  PPF, predicate translation, SQL-splitting handling (Section 4.4),
+  translation (schema-aware vs. Edge-like),
+* :mod:`repro.core.translator`  — the translation facade wiring
+  :mod:`repro.plan` together: Algorithm 1 planning, the optimizer-pass
+  pipeline (incl. the Section 4.5 path-filter omission), dialect
+  lowering,
 * :mod:`repro.core.engine`      — user-facing query engines.
 """
 

@@ -1,42 +1,44 @@
 """Mapping-specific halves of the PPF translation.
 
-The translator (Algorithm 1) is mapping-agnostic; everything that differs
+The planner (Algorithm 1) is mapping-agnostic; everything that differs
 between the schema-aware mapping of Section 3 and the Edge-like mapping
 of Section 5.1 sits behind :class:`StoreAdapter`:
 
 * candidate relations for a fragment's prominent step,
-* the Section 4.5 decision whether a `Paths` join is needed at all
-  (schema-aware only — U-P relations are never joined, F-P relations only
-  when some enumerated root path fails the regex),
 * access to text and attribute values (typed columns vs. the central
   ``attrs`` relation).
+
+The Section 4.5 decision whether a `Paths` join is needed at all lives
+in the ``paths-join-elimination`` optimizer pass
+(:mod:`repro.plan.passes`); the schema-aware adapter only exposes the
+marking the pass consults (``marking`` attribute), plus the
+``path_filter_optimization`` ablation switch selecting the default pass
+set.
 """
 
 from __future__ import annotations
 
 import abc
-import re
 from dataclasses import dataclass
-from typing import Iterable, Literal, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core.pathregex import (
     PatternStep,
-    compile_pattern,
-    exact_path,
     resolve_backward,
     resolve_forward,
     resolve_order_step,
 )
-from repro.schema.marking import PathClass
-from repro.sqlgen import Exists, Raw, SelectStatement, string_literal
-from repro.sqlgen.ast import Condition
+from repro.plan.nodes import (
+    ExistsCond,
+    FalseCond,
+    LogicalSelect,
+    PlanCond,
+    RawCond,
+)
+from repro.sqlgen import string_literal
 from repro.storage.edge import EdgeStore
 from repro.storage.schema_aware import RelationInfo, ShreddedStore
 from repro.xpath.ast import Step
-
-#: Constant conditions used to prune impossible branches.
-TRUE_CONDITION = Raw("1=1")
-FALSE_CONDITION = Raw("1=0")
 
 
 @dataclass(frozen=True)
@@ -55,16 +57,8 @@ class Candidate:
     name_column: Optional[str] = None
 
 
-@dataclass(frozen=True)
-class FilterDecision:
-    """Outcome of the Section 4.5 analysis for one candidate/pattern."""
-
-    kind: Literal["none", "equality", "regex", "empty"]
-    payload: Optional[str] = None  #: literal path or regex
-
-
 class StoreAdapter(abc.ABC):
-    """Mapping-specific operations used by :class:`PPFTranslator`."""
+    """Mapping-specific operations used by the planner."""
 
     #: True when schema information (and hence Section 4.5) is available.
     schema_aware: bool
@@ -102,17 +96,9 @@ class StoreAdapter(abc.ABC):
         test, used for index-friendly name restrictions."""
 
     @abc.abstractmethod
-    def path_filter(
-        self,
-        candidate: Candidate,
-        pattern: Sequence[PatternStep],
-        anchored: bool,
-    ) -> FilterDecision:
-        """Whether (and how) the candidate needs the `Paths` join for the
-        given pattern."""
-
-    @abc.abstractmethod
-    def text_expr(self, candidate: Candidate, alias: str, numeric: bool) -> Optional[str]:
+    def text_expr(
+        self, candidate: Candidate, alias: str, numeric: bool
+    ) -> Optional[str]:
         """SQL expression for the element text value, or ``None`` when the
         relation provably stores no text."""
 
@@ -132,9 +118,9 @@ class StoreAdapter(abc.ABC):
         op: Optional[str],
         literal_sql: Optional[str],
         numeric: bool,
-        fresh_alias,
-    ) -> Condition:
-        """Condition for ``@attr`` existence (``op is None``) or
+        fresh_alias: Callable[[str], str],
+    ) -> PlanCond:
+        """Plan condition for ``@attr`` existence (``op is None``) or
         comparison against a rendered literal."""
 
 
@@ -148,13 +134,18 @@ class SchemaAwareAdapter(StoreAdapter):
 
     schema_aware = True
 
-    def __init__(self, store: ShreddedStore, path_filter_optimization: bool = True):
+    def __init__(
+        self, store: ShreddedStore, path_filter_optimization: bool = True
+    ):
         self.store = store
         self.schema = store.schema
         self.mapping = store.mapping
+        #: The Section 4.5 marking the ``paths-join-elimination`` pass
+        #: consults (U-P / F-P / I-P label classification).
         self.marking = store.marking
         #: When False, Algorithm 1 is followed literally (every PPF joins
-        #: `Paths`) — the Section 4.5 ablation switch.
+        #: `Paths`) — the Section 4.5 ablation switch, implemented by
+        #: removing the elimination pass from the default pipeline.
         self.path_filter_optimization = path_filter_optimization
 
     # -- name resolution -----------------------------------------------------
@@ -208,38 +199,6 @@ class SchemaAwareAdapter(StoreAdapter):
         """The mapping relation behind a candidate."""
         return self.mapping.relations[candidate.table]
 
-    # -- Section 4.5 ---------------------------------------------------------------
-
-    def path_filter(self, candidate, pattern, anchored):
-        regex = compile_pattern(pattern, anchored)
-        literal = exact_path(pattern, anchored)
-        if not self.path_filter_optimization:
-            if literal is not None:
-                return FilterDecision("equality", literal)
-            return FilterDecision("regex", regex)
-        compiled = re.compile(regex)
-        needed = False
-        any_match = False
-        assert candidate.names is not None
-        for name in candidate.names:
-            if self.marking.classify(name) is PathClass.INFINITE:
-                needed = True
-                any_match = True  # cannot rule the name out statically
-                continue
-            paths = self.marking.root_paths(name) or []
-            matched = [p for p in paths if compiled.search(p)]
-            if matched:
-                any_match = True
-            if len(matched) != len(paths):
-                needed = True
-        if not any_match:
-            return FilterDecision("empty")
-        if not needed:
-            return FilterDecision("none")
-        if literal is not None:
-            return FilterDecision("equality", literal)
-        return FilterDecision("regex", regex)
-
     # -- values -------------------------------------------------------------------
 
     def text_expr(self, candidate, alias, numeric):
@@ -260,10 +219,10 @@ class SchemaAwareAdapter(StoreAdapter):
     ):
         expr = self.attr_expr(candidate, alias, attr, numeric)
         if expr is None:
-            return FALSE_CONDITION
+            return FalseCond()
         if op is None:
-            return Raw(f"{expr} IS NOT NULL")
-        return Raw(f"{expr} {op} {literal_sql}")
+            return RawCond(f"{expr} IS NOT NULL")
+        return RawCond(f"{expr} {op} {literal_sql}")
 
 
 # ---------------------------------------------------------------------------
@@ -304,12 +263,6 @@ class EdgeAdapter(StoreAdapter):
             ]
         return [Candidate("edge", None)]
 
-    def path_filter(self, candidate, pattern, anchored):
-        literal = exact_path(pattern, anchored)
-        if literal is not None:
-            return FilterDecision("equality", literal)
-        return FilterDecision("regex", compile_pattern(pattern, anchored))
-
     def text_expr(self, candidate, alias, numeric):
         if numeric:
             return f"CAST({alias}.text AS NUMERIC)"
@@ -325,11 +278,11 @@ class EdgeAdapter(StoreAdapter):
         self, candidate, alias, attr, op, literal_sql, numeric, fresh_alias
     ):
         inner_alias = fresh_alias("attrs")
-        sub = SelectStatement(columns=["1"])
-        sub.add_table("attrs", inner_alias)
-        sub.where.add(Raw(f"{inner_alias}.elem_id = {alias}.id"))
+        sub = LogicalSelect(columns=["1"])
+        sub.add_scan("attrs", inner_alias)
+        sub.where.add(RawCond(f"{inner_alias}.elem_id = {alias}.id"))
         sub.where.add(
-            Raw(f"{inner_alias}.name = {string_literal(attr)}")
+            RawCond(f"{inner_alias}.name = {string_literal(attr)}")
         )
         if op is not None:
             value = (
@@ -337,8 +290,8 @@ class EdgeAdapter(StoreAdapter):
                 if numeric
                 else f"{inner_alias}.value"
             )
-            sub.where.add(Raw(f"{value} {op} {literal_sql}"))
-        return Exists(sub)
+            sub.where.add(RawCond(f"{value} {op} {literal_sql}"))
+        return ExistsCond(sub)
 
 
 def names_of(candidate: Candidate) -> Optional[frozenset[str]]:

@@ -23,9 +23,17 @@ from typing import Iterable, Iterator, Optional, Union
 from repro.core.adapters import EdgeAdapter, SchemaAwareAdapter
 from repro.core.translator import PPFTranslator, TranslationResult
 from repro.errors import QueryTimeoutError, ReproError, RetryExhaustedError
+from repro.plan.nodes import QueryPlan, describe_plan
+
+# Module-object binding (see translator.py): repro.plan.passes imports
+# core submodules, so it may still be mid-initialization when this
+# module loads; defer attribute access to runtime.
+import repro.plan.passes as _plan_passes
+
 from repro.serving.cache import ResultCache
 from repro.serving.pool import ConnectionPool
 from repro.sqlgen.ast import UnionStatement
+from repro.sqlgen.dialect import AnsiDialect
 from repro.sqlgen.render import render_statement
 from repro.storage.edge import EdgeStore
 from repro.storage.schema_aware import ShreddedStore
@@ -33,6 +41,43 @@ from repro.xpath.ast import XPathExpr
 
 #: Hit/miss statistics of the per-engine translation cache.
 CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+
+class ExplainReport(str):
+    """``explain()``'s return value: the SQL text (it *is* a ``str``,
+    keeping the historical contract), enriched with the optimized
+    logical plan and per-pass diagnostics.
+
+    Attributes: ``plan`` (the :class:`~repro.plan.nodes.QueryPlan`),
+    ``pass_reports`` (one :class:`~repro.plan.passes.PassReport` per
+    pass run), ``fired`` (names of passes that changed the plan), and
+    ``stats_before`` / ``stats_after`` (plan statistics around the
+    pipeline).
+    """
+
+    plan: Optional[QueryPlan]
+    pass_reports: list[_plan_passes.PassReport]
+    fired: list[str]
+    stats_before: Optional[dict[str, int]]
+    stats_after: Optional[dict[str, int]]
+
+    @classmethod
+    def from_translation(
+        cls, translation: TranslationResult
+    ) -> "ExplainReport":
+        report = cls(translation.sql)
+        report.plan = translation.plan
+        report.pass_reports = list(translation.pass_reports)
+        report.fired = translation.fired_passes()
+        report.stats_before = translation.plan_stats_before
+        report.stats_after = translation.plan_stats_after
+        return report
+
+    def plan_text(self) -> str:
+        """Indented rendering of the optimized plan tree."""
+        if self.plan is None:
+            return "(no plan available)"
+        return describe_plan(self.plan)
 
 
 @dataclass(frozen=True)
@@ -232,7 +277,10 @@ class SQLXPathEngine:
         generation = getattr(self.store, "generation", None)
         if generation is None:
             return None
-        return (expression, generation)
+        # The translator fingerprint keys results on the active dialect
+        # and optimizer-pass set, so engines with different pass
+        # configurations sharing a cache never serve each other's rows.
+        return (expression, generation, self.translator.fingerprint)
 
     def _cache_result(self, key: Optional[tuple], result: "QueryResult") -> None:
         """Insert ``result`` unless the store mutated while the query
@@ -243,9 +291,12 @@ class SQLXPathEngine:
         if getattr(self.store, "generation", None) == key[1]:
             self._result_cache.put(key, result)
 
-    def explain(self, expression: Union[str, XPathExpr]) -> str:
-        """The SQL text for ``expression``."""
-        return self.translate(expression).sql
+    def explain(self, expression: Union[str, XPathExpr]) -> ExplainReport:
+        """The SQL text for ``expression``, as an
+        :class:`ExplainReport` also carrying the optimized logical
+        plan, which optimizer passes fired, and plan statistics before
+        and after the pass pipeline."""
+        return ExplainReport.from_translation(self.translate(expression))
 
     def query_plan(self, expression: Union[str, XPathExpr]) -> list[str]:
         """SQLite's EXPLAIN QUERY PLAN detail for the translated SQL
@@ -470,6 +521,12 @@ class PPFEngine(SQLXPathEngine):
         cache (``None`` disables it).
     :param pool: serve queries from this read-only connection pool
         (equivalent to calling :meth:`attach_pool` afterwards).
+    :param passes: explicit optimizer-pass selection (names from
+        :data:`repro.plan.passes.PASSES`, run in the given order);
+        ``None`` uses the default pipeline, honouring
+        ``path_filter_optimization``.
+    :param dialect: SQL dialect to lower plans through (default:
+        SQLite).
     """
 
     def __init__(
@@ -480,13 +537,20 @@ class PPFEngine(SQLXPathEngine):
         fallback: bool = False,
         result_cache_size: int | None = 128,
         pool: ConnectionPool | None = None,
+        passes: "Optional[tuple[str, ...] | list[str]]" = None,
+        dialect: Optional[AnsiDialect] = None,
     ):
         adapter = SchemaAwareAdapter(
             store, path_filter_optimization=path_filter_optimization
         )
         super().__init__(
             store,
-            PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins),
+            PPFTranslator(
+                adapter,
+                prefer_fk_joins=prefer_fk_joins,
+                passes=passes,
+                dialect=dialect,
+            ),
             fallback=fallback,
             result_cache_size=result_cache_size,
             pool=pool,
@@ -504,11 +568,18 @@ class EdgePPFEngine(SQLXPathEngine):
         fallback: bool = False,
         result_cache_size: int | None = 128,
         pool: ConnectionPool | None = None,
+        passes: "Optional[tuple[str, ...] | list[str]]" = None,
+        dialect: Optional[AnsiDialect] = None,
     ):
         adapter = EdgeAdapter(store)
         super().__init__(
             store,
-            PPFTranslator(adapter, prefer_fk_joins=prefer_fk_joins),
+            PPFTranslator(
+                adapter,
+                prefer_fk_joins=prefer_fk_joins,
+                passes=passes,
+                dialect=dialect,
+            ),
             fallback=fallback,
             result_cache_size=result_cache_size,
             pool=pool,

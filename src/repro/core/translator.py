@@ -1,87 +1,46 @@
-"""PPF-based XPath-to-SQL translation (paper Algorithm 1 + Sections 4.3–4.5).
+"""XPath-to-SQL translation facade (paper Algorithm 1 + Sections 4.3–4.5).
 
-The translator walks the backbone's PPFs in order, gradually building a
-:class:`SelectStatement` per *branch*.  A prominent step that maps to
-several relations forks the branch — the paper's *SQL splitting*
-(Section 4.4) — producing a ``UNION`` of statements; inside predicates the
-same fork becomes a disjunction of ``EXISTS`` sub-selects (Table 6).
+Since the logical-plan refactor this module no longer builds SQL itself;
+it wires the three pipeline layers together:
 
-Per PPF (Algorithm 1):
+1. :class:`repro.plan.planner.Planner` compiles the XPath AST to a
+   :class:`~repro.plan.nodes.QueryPlan` — Algorithm 1 followed
+   literally, every PPF joining `Paths`;
+2. a :class:`repro.plan.passes.PassPipeline` of individually toggleable
+   optimizer passes rewrites the plan (Section 4.5 Paths-join
+   elimination, Table 3 regex→equality, DISTINCT/ORDER pruning,
+   union-branch dedup);
+3. :func:`repro.plan.lowering.lower_plan` renders the survivor through a
+   :class:`~repro.sqlgen.dialect.AnsiDialect` (SQLite by default).
 
-* forward PPFs join their prominent relation to `Paths` with a regular
-  expression over the *maximal forward path* (anchored at the root when a
-  chain of forward PPFs reaches back to the absolute start), unless the
-  Section 4.5 marking proves the filter redundant;
-* backward PPFs put the (reversed) regex on the *previous* fragment's
-  path instead;
-* order-axis PPFs filter the path's last label (lines 6–7);
-* every non-initial PPF is joined structurally to the previous prominent
-  relation — by a foreign-key equijoin for single ``child``/``parent``
-  steps (Section 4.2) and by a Dewey lexicographic condition (Table 2)
-  otherwise, with a level-offset restriction pinning unanchored
-  fragments (DESIGN.md, correctness notes).
+:meth:`PPFTranslator.translate` keeps its pre-refactor signature and
+output semantics; :class:`TranslationResult` additionally carries the
+optimized plan, per-pass reports and before/after plan statistics for
+``explain`` and the benchmark trajectory.
 """
 
 from __future__ import annotations
 
-import copy
-import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-from repro.core.adapters import (
-    Candidate,
-    FALSE_CONDITION,
-    StoreAdapter,
-)
-from repro.core.fragments import (
-    PPF,
-    PPFKind,
-    SplitBackbone,
-    split_backbone,
-)
-from repro.core.pathregex import (
-    PatternStep,
-    pattern_of_steps,
-    backward_to_forward,
-)
-from repro.dewey.relations import sql_condition
-from repro.errors import TranslationError, UnsupportedXPathError
-from repro.sqlgen import (
-    And,
-    Exists,
-    Not,
-    Or,
-    Raw,
-    SelectStatement,
-    UnionStatement,
-    number_literal,
-    render_statement,
-    string_literal,
-)
-from repro.sqlgen.ast import Condition
-from repro.xpath.ast import (
-    AndExpr,
-    ArithmeticExpr,
-    Comparison,
-    FunctionCall,
-    LocationPath,
-    NameTest,
-    NotExpr,
-    NumberLiteral,
-    OrExpr,
-    PathExpr,
-    Step,
-    StringLiteral,
-    TextTest,
-    UnionExpr,
-    XPathExpr,
-)
-from repro.xpath.axes import Axis
-from repro.xpath.parser import parse_xpath
+from repro.core.adapters import StoreAdapter
+from repro.errors import TranslationError
 
-_SQL_OPS = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
-_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+# The plan modules are bound as module objects (not from-imports): the
+# plan and core packages import each other's submodules, and depending on
+# which package is entered first, a plan module may still be mid-
+# initialization when this module loads.  Deferring attribute access to
+# runtime keeps every import order valid.
+import repro.plan.lowering as _lowering
+import repro.plan.nodes as _nodes
+import repro.plan.passes as _passes
+import repro.plan.planner as _planner
+
+from repro.sqlgen import SelectStatement, UnionStatement, render_statement
+from repro.sqlgen.dialect import DEFAULT_DIALECT, AnsiDialect
+from repro.xpath.ast import XPathExpr
+from repro.xpath.parser import parse_xpath
 
 
 @dataclass
@@ -92,6 +51,13 @@ class TranslationResult:
     #: ``nodes`` (element rows), ``text`` or ``attribute`` (value rows).
     projection: str
     expression: str
+    #: The optimized logical plan the statement was lowered from.
+    plan: Optional[_nodes.QueryPlan] = None
+    #: One report per optimizer pass that ran, in pipeline order.
+    pass_reports: list[_passes.PassReport] = field(default_factory=list)
+    #: Plan statistics before/after the pass pipeline ran.
+    plan_stats_before: Optional[dict[str, int]] = None
+    plan_stats_after: Optional[dict[str, int]] = None
 
     @property
     def sql(self) -> str:
@@ -104,6 +70,10 @@ class TranslationResult:
     def is_empty(self) -> bool:
         """True when schema analysis proved the result empty."""
         return self.statement is None
+
+    def fired_passes(self) -> list[str]:
+        """Names of the optimizer passes that changed the plan."""
+        return [r.name for r in self.pass_reports if r.fired]
 
     # -- introspection used by tests and the ablation benches ---------------
 
@@ -136,31 +106,6 @@ class TranslationResult:
         return [self.statement]
 
 
-@dataclass
-class _Branch:
-    """One in-progress SQL statement during backbone processing."""
-
-    stmt: SelectStatement
-    ctx_alias: Optional[str] = None
-    ctx_candidate: Optional[Candidate] = None
-    #: Root-anchored pattern ending at the context (None when unknown).
-    ctx_pattern: Optional[list[PatternStep]] = None
-    #: alias -> its `Paths` alias, for filter reuse.
-    paths_aliases: dict[str, str] = field(default_factory=dict)
-
-    def clone(self) -> "_Branch":
-        """Deep-copy the statement; share nothing mutable."""
-        return _Branch(
-            stmt=copy.deepcopy(self.stmt),
-            ctx_alias=self.ctx_alias,
-            ctx_candidate=self.ctx_candidate,
-            ctx_pattern=list(self.ctx_pattern)
-            if self.ctx_pattern is not None
-            else None,
-            paths_aliases=dict(self.paths_aliases),
-        )
-
-
 class PPFTranslator:
     """Translates XPath expressions to SQL over one mapping adapter."""
 
@@ -170,6 +115,8 @@ class PPFTranslator:
         prefer_fk_joins: bool = True,
         split_every_step: bool = False,
         use_path_index: bool = True,
+        passes: Optional[Sequence[str]] = None,
+        dialect: Optional[AnsiDialect] = None,
     ):
         self.adapter = adapter
         #: Section 4.2: use foreign-key equijoins for single-step
@@ -192,11 +139,37 @@ class PPFTranslator:
                 "multi-step fragments require the path index for "
                 "correctness"
             )
-        self._used_aliases: set[str] = set()
+        #: The SQL dialect statements are lowered through.
+        self.dialect = dialect if dialect is not None else DEFAULT_DIALECT
+        #: Active optimizer pass names, in run order.  An explicit
+        #: ``passes`` wins; otherwise the default pipeline, minus the
+        #: Section 4.5 elimination pass when the adapter's
+        #: ``path_filter_optimization`` ablation switch is off.
+        self.pass_names: tuple[str, ...] = _passes.resolve_pass_names(
+            passes, getattr(adapter, "path_filter_optimization", True)
+        )
+        self._pipeline = _passes.PassPipeline(self.pass_names)
+        self._planner = _planner.Planner(
+            adapter,
+            prefer_fk_joins=prefer_fk_joins,
+            split_every_step=split_every_step,
+            use_path_index=use_path_index,
+        )
 
-    # -- public API ------------------------------------------------------------
+    @property
+    def fingerprint(self) -> tuple[object, ...]:
+        """Cache key component: everything that shapes the emitted SQL."""
+        return (
+            self.dialect.name,
+            self.pass_names,
+            self.prefer_fk_joins,
+            self.split_every_step,
+            self.use_path_index,
+        )
 
-    def translate(self, expression: Union[str, XPathExpr]) -> TranslationResult:
+    def translate(
+        self, expression: Union[str, XPathExpr]
+    ) -> TranslationResult:
         """Translate ``expression``; raises on unsupported features.
 
         :raises UnsupportedXPathError: for features outside the SQL subset
@@ -209,1056 +182,19 @@ class PPFTranslator:
             else expression
         )
         text = expression if isinstance(expression, str) else str(ast)
-        self._used_aliases = set()
-        if isinstance(ast, UnionExpr):
-            selects: list[SelectStatement] = []
-            projections: set[str] = set()
-            for branch_expr in ast.branches:
-                if not isinstance(branch_expr, PathExpr):
-                    raise UnsupportedXPathError(
-                        "only unions of location paths are supported"
-                    )
-                branch_selects, projection = self._translate_location_path(
-                    branch_expr.path
-                )
-                selects.extend(branch_selects)
-                projections.add(projection)
-            if len(projections) > 1:
-                raise UnsupportedXPathError(
-                    "union branches must project the same kind of result"
-                )
-            projection = projections.pop() if projections else "nodes"
-            return TranslationResult(
-                self._combine(selects), projection, text
-            )
-        if isinstance(ast, PathExpr):
-            selects, projection = self._translate_location_path(ast.path)
-            return TranslationResult(self._combine(selects), projection, text)
-        raise UnsupportedXPathError(
-            "top-level expression must be a location path or a union"
+        plan = self._planner.plan(ast, text)
+        stats_before = _nodes.plan_stats(plan)
+        context = _passes.PassContext(
+            marking=getattr(self.adapter, "marking", None)
         )
-
-    def _combine(
-        self, selects: list[SelectStatement]
-    ) -> Union[SelectStatement, UnionStatement, None]:
-        if not selects:
-            return None
-        if len(selects) == 1:
-            return selects[0]
-        union = UnionStatement(branches=selects)
-        union.order_by = ["doc_id", "dewey_pos"]
-        for statement in selects:
-            statement.order_by = []
-        return union
-
-    # -- backbone ------------------------------------------------------------------
-
-    def _translate_location_path(
-        self, path: LocationPath
-    ) -> tuple[list[SelectStatement], str]:
-        if not path.absolute:
-            # A top-level relative path is evaluated from the document
-            # node, i.e. exactly like its absolute form.
-            path = LocationPath(absolute=True, steps=path.steps)
-        split = split_backbone(path)
-        if self.split_every_step:
-            _explode_split(split)
-        branches = [_Branch(SelectStatement(distinct=True))]
-        for ppf in split.ppfs:
-            branches = [
-                forked
-                for branch in branches
-                for forked in self._apply_ppf(branch, ppf, split.absolute)
-            ]
-            if not branches:
-                return [], self._projection_kind(split)
-        projection = self._projection_kind(split)
-        selects: list[SelectStatement] = []
-        for branch in branches:
-            if self._finish_projection(branch, split):
-                selects.append(branch.stmt)
-        return selects, projection
-
-    @staticmethod
-    def _projection_kind(split: SplitBackbone) -> str:
-        if split.text_projection:
-            return "text"
-        if split.attribute_projection is not None:
-            return "attribute"
-        return "nodes"
-
-    def _finish_projection(
-        self, branch: _Branch, split: SplitBackbone
-    ) -> bool:
-        alias = branch.ctx_alias
-        candidate = branch.ctx_candidate
-        assert alias is not None and candidate is not None
-        columns = [
-            f"{alias}.id AS id",
-            f"{alias}.doc_id AS doc_id",
-            f"{alias}.dewey_pos AS dewey_pos",
-        ]
-        if split.text_projection:
-            value = self.adapter.text_expr(candidate, alias, numeric=False)
-            if value is None:
-                return False
-            branch.stmt.where.add(Raw(f"{value} IS NOT NULL"))
-            columns.append(f"{value} AS value")
-        elif split.attribute_projection is not None:
-            value = self.adapter.attr_expr(
-                candidate, alias, split.attribute_projection, numeric=False
-            )
-            if value is None:
-                return False
-            for predicate in split.attribute_predicates:
-                branch.stmt.where.add(
-                    self._predicate_condition(branch, predicate)
-                )
-            branch.stmt.where.add(Raw(f"{value} IS NOT NULL"))
-            columns.append(f"{value} AS value")
-        branch.stmt.columns = columns
-        branch.stmt.order_by = ["doc_id", "dewey_pos"]
-        return not _contains_false(branch.stmt.where)
-
-    # -- one PPF ---------------------------------------------------------------------
-
-    def _apply_ppf(
-        self, branch: _Branch, ppf: PPF, absolute: bool
-    ) -> list[_Branch]:
-        ctx_names = (
-            branch.ctx_candidate.names
-            if branch.ctx_candidate is not None
-            else None
+        plan, reports = self._pipeline.run(plan, context)
+        stats_after = _nodes.plan_stats(plan)
+        return TranslationResult(
+            _lowering.lower_plan(plan, self.dialect),
+            plan.projection,
+            text,
+            plan=plan,
+            pass_reports=reports,
+            plan_stats_before=stats_before,
+            plan_stats_after=stats_after,
         )
-        first = branch.ctx_alias is None
-
-        if ppf.kind is PPFKind.FORWARD:
-            pattern = pattern_of_steps(ppf.steps)
-            from_root = first  # top-level paths always start at the root
-            names = self.adapter.forward_names(
-                pattern,
-                ctx_names if not from_root else None,
-                anchored=from_root,
-            )
-        elif ppf.kind is PPFKind.BACKWARD:
-            if first:
-                raise UnsupportedXPathError(
-                    "a path cannot start with a backward axis at the root"
-                )
-            pattern = None
-            names = self.adapter.backward_names(ppf.steps, ctx_names)
-        else:  # ORDER
-            if first:
-                raise UnsupportedXPathError(
-                    "a path cannot start with an order axis at the root"
-                )
-            pattern = None
-            names = self.adapter.order_names(ppf.prominent_step, ctx_names)
-
-        if names is not None and not names:
-            return []
-
-        prominent_name = _concrete_name(ppf.prominent_step)
-        candidates = self.adapter.candidates(names, prominent_name)
-        if not candidates:
-            return []
-
-        forked: list[_Branch] = []
-        for index, candidate in enumerate(candidates):
-            target = branch if index == len(candidates) - 1 else branch.clone()
-            if self._emit_ppf(target, ppf, candidate, pattern):
-                forked.append(target)
-        return forked
-
-    def _emit_ppf(
-        self,
-        branch: _Branch,
-        ppf: PPF,
-        candidate: Candidate,
-        pattern: Optional[list[PatternStep]],
-    ) -> bool:
-        """Apply one PPF/candidate pair to ``branch``; False kills it."""
-        alias = self._fresh_alias(candidate.table)
-        branch.stmt.add_table(candidate.table, alias)
-        self._add_name_filter(branch.stmt, candidate, alias)
-
-        new_pattern: Optional[list[PatternStep]] = None
-        if not self.use_path_index:
-            # Naive per-step mode: no `Paths` joins at all.  Single-step
-            # fragments stay exact because each join pins one level and
-            # the relation pins the name; the only missing constraint is
-            # the root level of the first fragment.
-            if (
-                ppf.kind is PPFKind.FORWARD
-                and branch.ctx_alias is None
-            ):
-                minimum, exact = ppf.level_offset()
-                sign = "=" if exact else ">="
-                branch.stmt.where.add(
-                    Raw(f"length({alias}.dewey_pos) {sign} {3 * minimum}")
-                )
-        elif ppf.kind is PPFKind.FORWARD:
-            assert pattern is not None
-            if ppf.anchored:
-                full = (branch.ctx_pattern or []) + pattern
-                anchored = True
-            else:
-                full = pattern
-                anchored = False
-            if not self._add_path_filter(branch, alias, candidate, full, anchored):
-                return False
-            new_pattern = full if anchored else None
-        elif ppf.kind is PPFKind.BACKWARD:
-            assert branch.ctx_alias is not None
-            assert branch.ctx_candidate is not None
-            tail = _single_name(branch.ctx_candidate)
-            back_pattern = backward_to_forward(ppf.steps, tail)
-            if not self._add_path_filter(
-                branch,
-                branch.ctx_alias,
-                branch.ctx_candidate,
-                back_pattern,
-                anchored=False,
-            ):
-                return False
-        else:  # ORDER: filter the path's last label (Algorithm 1, l.6-7)
-            order_pattern = [PatternStep("child", _concrete_name(ppf.prominent_step))]
-            if not self._add_path_filter(
-                branch, alias, candidate, order_pattern, anchored=False
-            ):
-                return False
-
-        if branch.ctx_alias is not None:
-            self._add_structural_join(branch, ppf, alias)
-
-        predicate_branch = _Branch(
-            branch.stmt,
-            alias,
-            candidate,
-            new_pattern,
-            branch.paths_aliases,
-        )
-        for index, predicate in enumerate(ppf.predicates):
-            positional = _positional_form(predicate)
-            if positional is not None:
-                condition = self._positional_condition(
-                    predicate_branch, ppf, positional, index
-                )
-            else:
-                condition = self._predicate_condition(
-                    predicate_branch, predicate
-                )
-            branch.stmt.where.add(condition)
-
-        branch.ctx_alias = alias
-        branch.ctx_candidate = candidate
-        branch.ctx_pattern = new_pattern
-        return not _contains_false(branch.stmt.where)
-
-    # -- filters ---------------------------------------------------------------------
-
-    def _add_name_filter(
-        self, stmt: SelectStatement, candidate: Candidate, alias: str
-    ) -> None:
-        if not candidate.name_filter or candidate.name_column is None:
-            return
-        column = f"{alias}.{candidate.name_column}"
-        if len(candidate.name_filter) == 1:
-            stmt.where.add(
-                Raw(f"{column} = {string_literal(candidate.name_filter[0])}")
-            )
-        else:
-            rendered = ", ".join(
-                string_literal(n) for n in candidate.name_filter
-            )
-            stmt.where.add(Raw(f"{column} IN ({rendered})"))
-
-    def _add_path_filter(
-        self,
-        branch: _Branch,
-        alias: str,
-        candidate: Candidate,
-        pattern: Sequence[PatternStep],
-        anchored: bool,
-    ) -> bool:
-        """Join ``alias`` to `Paths` per the adapter's 4.5 decision.
-
-        Returns False when the pattern is statically unsatisfiable.
-        """
-        decision = self.adapter.path_filter(candidate, pattern, anchored)
-        if decision.kind == "empty":
-            return False
-        if decision.kind == "none":
-            return True
-        paths_alias = self._paths_alias(branch, alias)
-        if decision.kind == "equality":
-            branch.stmt.where.add(
-                Raw(f"{paths_alias}.path = {string_literal(decision.payload)}")
-            )
-        else:
-            branch.stmt.where.add(
-                Raw(
-                    f"regexp_like({paths_alias}.path, "
-                    f"{string_literal(decision.payload)})"
-                )
-            )
-        return True
-
-    def _paths_alias(self, branch: _Branch, alias: str) -> str:
-        existing = branch.paths_aliases.get(alias)
-        if existing is not None:
-            return existing
-        paths_alias = f"{alias}_paths"
-        branch.stmt.add_table("paths", paths_alias)
-        branch.stmt.where.add(Raw(f"{alias}.path_id = {paths_alias}.id"))
-        branch.paths_aliases[alias] = paths_alias
-        return paths_alias
-
-    # -- structural joins ---------------------------------------------------------------
-
-    def _add_structural_join(
-        self, branch: _Branch, ppf: PPF, alias: str
-    ) -> None:
-        ctx = branch.ctx_alias
-        assert ctx is not None
-        stmt = branch.stmt
-        step = ppf.prominent_step
-
-        if ppf.kind is PPFKind.ORDER:
-            stmt.where.add(Raw(sql_condition(step.axis.value, ctx, alias)))
-            if step.axis in (Axis.FOLLOWING, Axis.PRECEDING):
-                stmt.where.add(Raw(f"+{alias}.doc_id = +{ctx}.doc_id"))
-            if step.axis is Axis.PRECEDING:
-                # The preceding window bounds the *context* side, so the
-                # new relation must be bound first (see move_before).
-                stmt.move_before(alias, ctx)
-            return
-
-        if self.prefer_fk_joins and ppf.is_single_step():
-            if step.axis is Axis.CHILD:
-                stmt.where.add(Raw(f"{alias}.par_id = {ctx}.id"))
-                return
-            if step.axis is Axis.PARENT:
-                stmt.where.add(Raw(f"{alias}.id = {ctx}.par_id"))
-                return
-
-        if all(s.axis is Axis.SELF for s in ppf.steps):
-            stmt.where.add(Raw(sql_condition("self", ctx, alias)))
-            stmt.where.add(Raw(f"+{alias}.doc_id = +{ctx}.doc_id"))
-            return
-        minimum, exact = ppf.level_offset()
-        if ppf.kind is PPFKind.BACKWARD:
-            # Upward Dewey joins range-probe the *context*'s index, so the
-            # new (ancestor-side) relation must be bound first.
-            stmt.move_before(alias, ctx)
-        if exact and minimum == 1:
-            # Single-level fragment without the FK shortcut: the Dewey
-            # child/parent conditions carry their own length arithmetic.
-            axis_name = "child" if ppf.kind is PPFKind.FORWARD else "parent"
-            stmt.where.add(Raw(sql_condition(axis_name, ctx, alias)))
-            stmt.where.add(Raw(f"+{alias}.doc_id = +{ctx}.doc_id"))
-            return
-        if ppf.kind is PPFKind.FORWARD:
-            axis_name = "descendant" if minimum > 0 else "descendant-or-self"
-        else:
-            axis_name = "ancestor" if minimum > 0 else "ancestor-or-self"
-        stmt.where.add(Raw(sql_condition(axis_name, ctx, alias)))
-        stmt.where.add(Raw(f"+{alias}.doc_id = +{ctx}.doc_id"))
-        if ppf.kind is PPFKind.FORWARD and ppf.anchored:
-            # Root-anchored regexes already pin the fragment's interior.
-            return
-        if minimum > 1 or (exact and minimum != 1):
-            sign = "=" if exact else (">=" if ppf.kind is PPFKind.FORWARD else "<=")
-            offset = 3 * minimum
-            if ppf.kind is PPFKind.FORWARD:
-                stmt.where.add(
-                    Raw(
-                        f"length({alias}.dewey_pos) {sign} "
-                        f"length({ctx}.dewey_pos) + {offset}"
-                    )
-                )
-            else:
-                stmt.where.add(
-                    Raw(
-                        f"length({alias}.dewey_pos) {sign} "
-                        f"length({ctx}.dewey_pos) - {offset}"
-                    )
-                )
-
-    # -- positional predicates ---------------------------------------------------------------
-
-    def _positional_condition(
-        self,
-        branch: _Branch,
-        ppf: PPF,
-        form: tuple,
-        predicate_index: int,
-    ) -> Condition:
-        """Translate ``[k]`` / ``[position() op k]`` / ``[last()]``.
-
-        Supported for ``child``-axis prominent steps: the proximity
-        position equals one plus the number of earlier siblings under the
-        same parent that satisfy the same node test, which a scalar
-        COUNT sub-select (one per sibling candidate relation) computes.
-        """
-        step = ppf.prominent_step
-        if predicate_index != 0:
-            raise UnsupportedXPathError(
-                "a positional predicate must be the step's first "
-                "predicate in the SQL engines"
-            )
-        if step.axis is not Axis.CHILD or ppf.kind is not PPFKind.FORWARD:
-            raise UnsupportedXPathError(
-                "positional predicates are only translated for child-axis "
-                "steps (use the native engine otherwise)"
-            )
-        alias = branch.ctx_alias
-        candidate = branch.ctx_candidate
-        assert alias is not None and candidate is not None
-        sibling_step = Step(Axis.FOLLOWING_SIBLING, step.node_test)
-        names = self.adapter.order_names(
-            sibling_step,
-            candidate.names if candidate.names is not None else None,
-        )
-        if names is not None:
-            # A node is always in its own sibling set (root elements have
-            # no schema parents, so the sibling walk alone misses them).
-            own = candidate.names or frozenset()
-            names = frozenset(names) | frozenset(
-                n for n in own if _matches_test(step, n)
-            )
-        candidates = self.adapter.candidates(
-            names, _concrete_name(step)
-        )
-        if form[0] == "last":
-            following = [
-                Exists(self._sibling_subquery(sib, alias, "s.dewey_pos > "))
-                for sib in candidates
-            ]
-            return Not(Or(following)) if following else Raw("1=1")
-        _, op, value = form
-        if op == "=" and value != int(value):
-            return FALSE_CONDITION
-        counts = [
-            self._sibling_count_expr(sib, alias)
-            for sib in candidates
-        ]
-        total = " + ".join(counts) if counts else "0"
-        return Raw(f"({total} + 1) {_SQL_OPS[op]} {number_literal(value)}")
-
-    def _sibling_subquery(
-        self, candidate: Candidate, alias: str, dewey_cmp: str
-    ) -> SelectStatement:
-        inner = self._fresh_alias(candidate.table)
-        sub = SelectStatement(columns=["1"])
-        sub.add_table(candidate.table, inner)
-        # `IS` makes the root level (par_id NULL) compare equal too.
-        sub.where.add(Raw(f"{inner}.par_id IS {alias}.par_id"))
-        sub.where.add(Raw(f"{inner}.doc_id = {alias}.doc_id"))
-        sub.where.add(
-            Raw(dewey_cmp.replace("s.", inner + ".") + f"{alias}.dewey_pos")
-        )
-        if candidate.name_filter and candidate.name_column:
-            column = f"{inner}.{candidate.name_column}"
-            if len(candidate.name_filter) == 1:
-                sub.where.add(
-                    Raw(f"{column} = {string_literal(candidate.name_filter[0])}")
-                )
-            else:
-                rendered = ", ".join(
-                    string_literal(n) for n in candidate.name_filter
-                )
-                sub.where.add(Raw(f"{column} IN ({rendered})"))
-        return sub
-
-    def _sibling_count_expr(self, candidate: Candidate, alias: str) -> str:
-        sub = self._sibling_subquery(candidate, alias, "s.dewey_pos < ")
-        sub.columns = ["COUNT(*)"]
-        return "(" + render_statement(sub) + ")"
-
-    # -- predicates ------------------------------------------------------------------------
-
-    def _predicate_condition(
-        self, branch: _Branch, expr: XPathExpr
-    ) -> Condition:
-        if isinstance(expr, OrExpr):
-            return Or(
-                [
-                    self._predicate_condition(branch, expr.left),
-                    self._predicate_condition(branch, expr.right),
-                ]
-            )
-        if isinstance(expr, AndExpr):
-            conjunction = And()
-            conjunction.add(self._predicate_condition(branch, expr.left))
-            conjunction.add(self._predicate_condition(branch, expr.right))
-            return conjunction
-        if isinstance(expr, NotExpr):
-            return Not(self._predicate_condition(branch, expr.operand))
-        if isinstance(expr, UnionExpr):
-            return Or(
-                [
-                    self._predicate_condition(branch, sub)
-                    for sub in expr.branches
-                ]
-            )
-        if isinstance(expr, Comparison):
-            return self._comparison_condition(branch, expr)
-        if isinstance(expr, PathExpr):
-            return self._existence_condition(branch, expr.path)
-        if isinstance(expr, FunctionCall):
-            return self._function_condition(branch, expr)
-        if isinstance(expr, NumberLiteral):
-            raise UnsupportedXPathError(
-                "positional predicates have no SQL translation in this "
-                "engine (use the native engine)"
-            )
-        if isinstance(expr, StringLiteral):
-            return Raw("1=1") if expr.value else FALSE_CONDITION
-        raise UnsupportedXPathError(f"unsupported predicate {expr}")
-
-    def _function_condition(
-        self, branch: _Branch, call: FunctionCall
-    ) -> Condition:
-        if call.name in ("contains", "starts-with"):
-            target, literal = call.args
-            if not isinstance(literal, StringLiteral):
-                raise UnsupportedXPathError(
-                    f"{call.name}() needs a string literal second argument"
-                )
-            escaped = (
-                literal.value.replace("\\", "\\\\")
-                .replace("%", "\\%")
-                .replace("_", "\\_")
-            )
-            like = (
-                f"%{escaped}%" if call.name == "contains" else f"{escaped}%"
-            )
-            return self._value_path_condition(
-                branch,
-                target,
-                "LIKE",
-                string_literal(like) + " ESCAPE '\\'",
-                numeric=False,
-            )
-        raise UnsupportedXPathError(
-            f"{call.name}() has no SQL translation in this engine"
-        )
-
-    def _comparison_condition(
-        self, branch: _Branch, expr: Comparison
-    ) -> Condition:
-        left, op, right = expr.left, expr.op, expr.right
-        count_condition = self._count_comparison(branch, left, op, right)
-        if count_condition is not None:
-            return count_condition
-        left_is_path = isinstance(left, (PathExpr, UnionExpr))
-        right_is_path = isinstance(right, (PathExpr, UnionExpr))
-        if not left_is_path and right_is_path:
-            left, right = right, left
-            op = _FLIP[op]
-            left_is_path, right_is_path = True, False
-
-        if left_is_path and right_is_path:
-            return self._path_to_path_condition(branch, left, op, right)
-        if left_is_path:
-            literal_sql, numeric = self._literal_sql(branch, right)
-            return self._value_path_condition(
-                branch, left, _SQL_OPS[op], literal_sql, numeric
-            )
-        # literal vs literal: fold statically.
-        return (
-            Raw("1=1")
-            if _static_compare(op, left, right)
-            else FALSE_CONDITION
-        )
-
-    def _count_comparison(
-        self,
-        branch: _Branch,
-        left: XPathExpr,
-        op: str,
-        right: XPathExpr,
-    ) -> Optional[Condition]:
-        """``count(path) op number`` via scalar COUNT sub-selects
-        (summed across SQL-splitting branches)."""
-        left_count = _count_argument(left)
-        right_count = _count_argument(right)
-        if left_count is None and right_count is None:
-            return None
-        if left_count is not None and right_count is not None:
-            raise UnsupportedXPathError(
-                "count() on both comparison sides is not supported"
-            )
-        if left_count is None:
-            left, right = right, left
-            op = _FLIP[op]
-            left_count = right_count
-        try:
-            value = float(_static_value(right))
-        except (UnsupportedXPathError, ValueError):
-            raise UnsupportedXPathError(
-                "count() can only be compared against a number"
-            ) from None
-        counts = []
-        for sub in self._build_predicate_path(branch, left_count):
-            assert sub.ctx_alias is not None
-            sub.stmt.columns = [f"COUNT(DISTINCT {sub.ctx_alias}.id)"]
-            counts.append("(" + render_statement(sub.stmt) + ")")
-        total = " + ".join(counts) if counts else "0"
-        return Raw(f"({total}) {_SQL_OPS[op]} {number_literal(value)}")
-
-    def _literal_sql(self, branch: _Branch, expr: XPathExpr) -> tuple[str, bool]:
-        value = _static_value(expr)
-        if isinstance(value, float):
-            return number_literal(value), True
-        return string_literal(value), False
-
-    def _value_path_condition(
-        self,
-        branch: _Branch,
-        expr: XPathExpr,
-        sql_op: str,
-        literal_sql: str,
-        numeric: bool,
-    ) -> Condition:
-        """``path op literal`` (or LIKE) — Table 5(1) shape."""
-        if isinstance(expr, UnionExpr):
-            return Or(
-                [
-                    self._value_path_condition(
-                        branch, sub, sql_op, literal_sql, numeric
-                    )
-                    for sub in expr.branches
-                ]
-            )
-        if not isinstance(expr, PathExpr):
-            raise UnsupportedXPathError(
-                f"cannot compare {expr} against a value in SQL"
-            )
-        path = expr.path
-        shortcut = self._local_value_condition(
-            branch, path, sql_op, literal_sql, numeric
-        )
-        if shortcut is not None:
-            return shortcut
-        sub_branches = self._build_predicate_path(branch, path)
-        alternatives: list[Condition] = []
-        for sub in sub_branches:
-            value = self._branch_value_expr(sub, path)
-            if value is None:
-                continue
-            sub.stmt.where.add(Raw(f"{value} {sql_op} {literal_sql}"))
-            if not _contains_false(sub.stmt.where):
-                alternatives.append(Exists(sub.stmt))
-        if not alternatives:
-            return FALSE_CONDITION
-        return Or(alternatives)
-
-    def _local_value_condition(
-        self,
-        branch: _Branch,
-        path: LocationPath,
-        sql_op: str,
-        literal_sql: str,
-        numeric: bool,
-    ) -> Optional[Condition]:
-        """Comparisons that touch only the context row: ``@attr op v``,
-        ``text() op v`` and ``. op v``."""
-        if path.absolute or len(path.steps) != 1:
-            return None
-        step = path.steps[0]
-        if step.predicates:
-            return None
-        assert branch.ctx_alias is not None and branch.ctx_candidate is not None
-        if step.axis is Axis.ATTRIBUTE:
-            name = _concrete_name(step)
-            if name is None:
-                raise UnsupportedXPathError(
-                    "attribute comparisons need a concrete attribute name"
-                )
-            return self.adapter.attr_condition(
-                branch.ctx_candidate,
-                branch.ctx_alias,
-                name,
-                sql_op,
-                literal_sql,
-                numeric,
-                self._fresh_alias,
-            )
-        if isinstance(step.node_test, TextTest) or (
-            step.axis is Axis.SELF and _concrete_name(step) is None
-        ):
-            value = self.adapter.text_expr(
-                branch.ctx_candidate, branch.ctx_alias, numeric
-            )
-            if value is None:
-                return FALSE_CONDITION
-            return Raw(f"{value} {sql_op} {literal_sql}")
-        return None
-
-    def _path_to_path_condition(
-        self,
-        branch: _Branch,
-        left: XPathExpr,
-        op: str,
-        right: XPathExpr,
-    ) -> Condition:
-        """Join predicate clause: comparison between two paths
-        (Section 4.3, footnote 1 — e.g. the Q-A query)."""
-        if isinstance(left, UnionExpr) or isinstance(right, UnionExpr):
-            raise UnsupportedXPathError(
-                "unions inside join predicate clauses are not supported"
-            )
-        assert isinstance(left, PathExpr) and isinstance(right, PathExpr)
-        alternatives: list[Condition] = []
-        for left_branch in self._build_predicate_path(branch, left.path):
-            left_value = self._branch_value_expr(left_branch, left.path)
-            if left_value is None:
-                continue
-            continued = self._build_predicate_path(
-                branch, right.path, base=left_branch
-            )
-            for both in continued:
-                right_value = self._branch_value_expr(both, right.path)
-                if right_value is None:
-                    continue
-                both.stmt.where.add(
-                    Raw(f"{left_value} {_SQL_OPS[op]} {right_value}")
-                )
-                if not _contains_false(both.stmt.where):
-                    alternatives.append(Exists(both.stmt))
-        if not alternatives:
-            return FALSE_CONDITION
-        return Or(alternatives)
-
-    def _existence_condition(
-        self, branch: _Branch, path: LocationPath
-    ) -> Condition:
-        assert branch.ctx_alias is not None and branch.ctx_candidate is not None
-        # @attr existence.
-        if (
-            not path.absolute
-            and len(path.steps) == 1
-            and path.steps[0].axis is Axis.ATTRIBUTE
-            and not path.steps[0].predicates
-        ):
-            name = _concrete_name(path.steps[0])
-            if name is None:
-                raise UnsupportedXPathError(
-                    "wildcard attribute tests are not supported in SQL"
-                )
-            return self.adapter.attr_condition(
-                branch.ctx_candidate,
-                branch.ctx_alias,
-                name,
-                None,
-                None,
-                False,
-                self._fresh_alias,
-            )
-        # Backward-simple-path-only clause: pure path filtering on the
-        # context (Table 5, example 2).
-        if (
-            self.use_path_index
-            and not path.absolute
-            and all(s.axis.is_path_backward for s in path.steps)
-            and all(not s.predicates for s in path.steps)
-        ):
-            tail = _single_name(branch.ctx_candidate)
-            pattern = backward_to_forward(path.steps, tail)
-            decision = self.adapter.path_filter(
-                branch.ctx_candidate, pattern, anchored=False
-            )
-            if decision.kind == "empty":
-                return FALSE_CONDITION
-            if decision.kind == "none":
-                return Raw("1=1")
-            paths_alias = self._paths_alias(branch, branch.ctx_alias)
-            if decision.kind == "equality":
-                return Raw(
-                    f"{paths_alias}.path = {string_literal(decision.payload)}"
-                )
-            return Raw(
-                f"regexp_like({paths_alias}.path, "
-                f"{string_literal(decision.payload)})"
-            )
-        alternatives = [
-            Exists(sub.stmt)
-            for sub in self._build_predicate_path(branch, path)
-            if not _contains_false(sub.stmt.where)
-        ]
-        if not alternatives:
-            return FALSE_CONDITION
-        return Or(alternatives)
-
-    # -- predicate sub-paths -------------------------------------------------------------
-
-    def _build_predicate_path(
-        self,
-        outer: _Branch,
-        path: LocationPath,
-        base: Optional[_Branch] = None,
-    ) -> list[_Branch]:
-        """Build EXISTS-subquery branches for a predicate path.
-
-        The returned branches' statements are ``SELECT NULL`` sub-selects
-        correlated with the outer context (for relative paths) or scoped
-        to the outer row's document (for absolute paths).  ``base``
-        continues an existing sub-statement (join predicate clauses put
-        both paths into one sub-select).
-        """
-        assert outer.ctx_alias is not None
-        split = split_backbone(
-            path,
-            context_anchored=not path.absolute
-            and outer.ctx_pattern is not None,
-        )
-        if self.split_every_step:
-            _explode_split(split)
-        if split.text_projection:
-            # A trailing text() in a predicate value path is equivalent to
-            # comparing the element's text; handled by the value expr.
-            pass
-        if base is not None:
-            # Continue an existing sub-select (join predicate clauses put
-            # both paths into one statement), but anchor the new path at
-            # the *outer* context, not at the previous path's tail.
-            start = _Branch(
-                base.stmt,
-                None if path.absolute else outer.ctx_alias,
-                None if path.absolute else outer.ctx_candidate,
-                None if path.absolute else outer.ctx_pattern,
-                base.paths_aliases,
-            )
-        else:
-            stmt = SelectStatement(columns=["NULL"])
-            if path.absolute:
-                start = _Branch(stmt)
-            else:
-                start = _Branch(
-                    stmt,
-                    outer.ctx_alias,
-                    outer.ctx_candidate,
-                    outer.ctx_pattern,
-                )
-        branches = [start]
-        for index, ppf in enumerate(split.ppfs):
-            next_branches: list[_Branch] = []
-            for sub in branches:
-                for forked in self._apply_ppf(sub, ppf, path.absolute):
-                    if index == 0 and path.absolute:
-                        # Scope the absolute path to the outer document.
-                        forked.stmt.where.add(
-                            Raw(
-                                f"+{forked.ctx_alias}.doc_id = "
-                                f"+{outer.ctx_alias}.doc_id"
-                            )
-                        )
-                    next_branches.append(forked)
-            branches = next_branches
-            if not branches:
-                return []
-        # Projection tails inside predicates assert the projected value
-        # exists: [a/@id] is true only for a's that *have* the attribute,
-        # and [a/text() ...] needs a non-empty text value.
-        surviving: list[_Branch] = []
-        for sub in branches:
-            assert sub.ctx_alias is not None and sub.ctx_candidate is not None
-            if split.attribute_projection is not None:
-                expr = self.adapter.attr_expr(
-                    sub.ctx_candidate,
-                    sub.ctx_alias,
-                    split.attribute_projection,
-                    numeric=False,
-                )
-                if expr is None:
-                    continue
-                sub.stmt.where.add(Raw(f"{expr} IS NOT NULL"))
-            elif split.text_projection:
-                expr = self.adapter.text_expr(
-                    sub.ctx_candidate, sub.ctx_alias, numeric=False
-                )
-                if expr is None:
-                    continue
-                sub.stmt.where.add(Raw(f"{expr} IS NOT NULL"))
-            surviving.append(sub)
-        return surviving
-
-    def _branch_value_expr(
-        self, branch: _Branch, path: LocationPath
-    ) -> Optional[str]:
-        """SQL expression for the value a predicate path compares."""
-        assert branch.ctx_alias is not None and branch.ctx_candidate is not None
-        split = split_backbone(path)
-        if split.attribute_projection is not None:
-            return self.adapter.attr_expr(
-                branch.ctx_candidate,
-                branch.ctx_alias,
-                split.attribute_projection,
-                numeric=False,
-            )
-        return self.adapter.text_expr(
-            branch.ctx_candidate, branch.ctx_alias, numeric=False
-        )
-
-    # -- helpers ----------------------------------------------------------------------------
-
-    def _fresh_alias(self, table: str) -> str:
-        if table not in self._used_aliases:
-            self._used_aliases.add(table)
-            return table
-        counter = 2
-        while f"{table}_{counter}" in self._used_aliases:
-            counter += 1
-        alias = f"{table}_{counter}"
-        self._used_aliases.add(alias)
-        return alias
-
-
-# ---------------------------------------------------------------------------
-# module helpers
-# ---------------------------------------------------------------------------
-
-
-def _concrete_name(step: Step) -> Optional[str]:
-    test = step.node_test
-    if isinstance(test, NameTest) and not test.is_wildcard:
-        return test.name
-    return None
-
-
-def _single_name(candidate: Optional[Candidate]) -> Optional[str]:
-    if candidate is None or candidate.names is None:
-        return None
-    if len(candidate.names) == 1:
-        return next(iter(candidate.names))
-    return None
-
-
-def _static_value(expr: XPathExpr) -> Union[float, str]:
-    if isinstance(expr, NumberLiteral):
-        return expr.value
-    if isinstance(expr, StringLiteral):
-        return expr.value
-    if isinstance(expr, ArithmeticExpr):
-        left = _static_value(expr.left)
-        right = _static_value(expr.right)
-        if isinstance(left, str) or isinstance(right, str):
-            raise UnsupportedXPathError("arithmetic over strings")
-        ops = {
-            "+": lambda a, b: a + b,
-            "-": lambda a, b: a - b,
-            "*": lambda a, b: a * b,
-            "div": lambda a, b: a / b if b else math.inf,
-            "mod": lambda a, b: math.fmod(a, b) if b else math.nan,
-        }
-        return ops[expr.op](left, right)
-    raise UnsupportedXPathError(
-        f"expression {expr} is not a literal the SQL engine can evaluate"
-    )
-
-
-def _static_compare(op: str, left: XPathExpr, right: XPathExpr) -> bool:
-    a, b = _static_value(left), _static_value(right)
-    if op in ("=", "!="):
-        if isinstance(a, float) or isinstance(b, float):
-            outcome = float(a) == float(b)
-        else:
-            outcome = a == b
-        return outcome if op == "=" else not outcome
-    a_num, b_num = float(a), float(b)
-    return {
-        "<": a_num < b_num,
-        "<=": a_num <= b_num,
-        ">": a_num > b_num,
-        ">=": a_num >= b_num,
-    }[op]
-
-
-def _count_argument(expr: XPathExpr) -> Optional[LocationPath]:
-    """The path inside a ``count(path)`` call, if ``expr`` is one."""
-    if (
-        isinstance(expr, FunctionCall)
-        and expr.name == "count"
-        and len(expr.args) == 1
-        and isinstance(expr.args[0], PathExpr)
-    ):
-        return expr.args[0].path
-    return None
-
-
-def _matches_test(step: Step, name: str) -> bool:
-    """Whether an element name satisfies the step's node test."""
-    test = step.node_test
-    if isinstance(test, NameTest):
-        return test.is_wildcard or test.name == name
-    return True
-
-
-def _is_position_call(expr: XPathExpr) -> bool:
-    return isinstance(expr, FunctionCall) and expr.name == "position"
-
-
-def _is_last_call(expr: XPathExpr) -> bool:
-    return isinstance(expr, FunctionCall) and expr.name == "last"
-
-
-def _positional_form(expr: XPathExpr) -> Optional[tuple]:
-    """Recognize the positional predicate shapes the SQL engines handle.
-
-    Returns ``("cmp", op, k)`` for ``[k]`` / ``[position() op k]``,
-    ``("last",)`` for ``[last()]`` / ``[position() = last()]``, or
-    ``None`` when the predicate is not positional at the top level.
-    """
-    if isinstance(expr, NumberLiteral):
-        return ("cmp", "=", expr.value)
-    if _is_last_call(expr):
-        return ("last",)
-    if isinstance(expr, Comparison):
-        left, op, right = expr.left, expr.op, expr.right
-        if _is_position_call(left) and isinstance(right, NumberLiteral):
-            return ("cmp", op, right.value)
-        if _is_position_call(right) and isinstance(left, NumberLiteral):
-            return ("cmp", _FLIP[op], left.value)
-        if (
-            _is_position_call(left)
-            and _is_last_call(right)
-            and op == "="
-        ) or (
-            _is_last_call(left) and _is_position_call(right) and op == "="
-        ):
-            return ("last",)
-        if any(
-            _is_position_call(side) or _is_last_call(side)
-            for side in (left, right)
-        ):
-            raise UnsupportedXPathError(
-                f"positional predicate shape {expr} has no SQL translation"
-            )
-    return None
-
-
-def _explode_split(split: SplitBackbone) -> None:
-    """Rewrite a backbone split into one single-step fragment per step
-    (the conventional per-step translation of Section 4.4's strawman)."""
-    exploded: list[PPF] = []
-    for ppf in split.ppfs:
-        for step in ppf.steps:
-            if step.axis.is_path_forward:
-                kind = PPFKind.FORWARD
-            elif step.axis.is_path_backward:
-                kind = PPFKind.BACKWARD
-            else:
-                kind = PPFKind.ORDER
-            exploded.append(PPF(kind, [step], anchored=False))
-    split.ppfs = exploded
-
-
-def _contains_false(condition: Condition) -> bool:
-    """True when a top-level conjunction contains the FALSE constant."""
-    if isinstance(condition, Raw):
-        return condition.sql == "1=0"
-    if isinstance(condition, And):
-        return any(_contains_false(p) for p in condition.parts)
-    return False

@@ -1,0 +1,601 @@
+"""Optimizer passes over the logical plan.
+
+Each pass is an independent, individually toggleable rewrite of a
+:class:`~repro.plan.nodes.QueryPlan`.  The pipeline interleaves the
+passes with an always-on constant folder (``fold_plan``) that propagates
+``TRUE``/``FALSE`` conditions, prunes statically dead branches and
+collapses single-branch unions, so passes are free to rewrite locally
+and let the folder clean up.
+
+The shipped passes (in default order):
+
+``paths-join-elimination``
+    The paper's Section 4.5: using the schema marking (U-P / F-P / I-P
+    label classes), a path filter whose candidate names all *provably*
+    satisfy the pattern is dropped — and its `Paths` join with it — while
+    a filter no candidate can satisfy kills its branch.  Disabled by the
+    engines' ``path_filter_optimization=False`` ablation switch.
+
+``regex-to-equality``
+    Table 3: a pattern denoting exactly one literal path becomes a plain
+    ``paths.path = '...'`` equality (syntactic rule), and a *needed*
+    filter over finitely-pathed (U-P/F-P) labels whose root paths match
+    the regex in exactly one place becomes an equality against that one
+    path (marking rule).
+
+``prune-distinct-order``
+    Drops ORDER BY from sub-selects (EXISTS / scalar COUNT bodies, where
+    ordering is wasted work) and from union branches (the union carries
+    the global ordering), and drops DISTINCT where the plan shape proves
+    result rows unique — a single element scan whose only companions are
+    1:1 `Paths` links — or where the surrounding UNION deduplicates
+    anyway.
+
+``dedup-union-branches``
+    SQL splitting (Section 4.4) can emit structurally identical branches
+    — e.g. ``//C | /A/B/C`` after filter elimination — which are
+    detected by alias-canonical fingerprinting and merged.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.pathregex import compile_pattern, exact_path
+from repro.errors import TranslationError
+from repro.plan.nodes import (
+    AggregateCountCond,
+    AndCond,
+    DocEqCond,
+    ExistsCond,
+    FalseCond,
+    LevelCond,
+    LogicalSelect,
+    NameFilterCond,
+    NotCond,
+    OrCond,
+    PathFilterCond,
+    PathsLinkCond,
+    PlanCond,
+    PlanUnion,
+    QueryPlan,
+    RawCond,
+    StructuralCond,
+    TrueCond,
+    child_subplans,
+    contains_false,
+    iter_conditions,
+    iter_selects,
+    rewrite_condition,
+)
+from repro.schema.marking import PathClass, SchemaMarking
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass
+class PassContext:
+    """Shared state the passes may consult.
+
+    ``marking`` is the Section 4.5 schema marking (``None`` for the
+    schema-oblivious Edge mapping, where no static path knowledge
+    exists and the marking-based passes keep quiet).
+    """
+
+    marking: Optional[SchemaMarking] = None
+
+
+@dataclass
+class PassReport:
+    """What one pass did to one plan."""
+
+    name: str
+    fired: bool  #: whether the pass changed the plan at all
+    changes: int  #: number of individual rewrites applied
+    detail: str  #: human-readable one-liner for ``explain``
+
+    def summary(self) -> str:
+        """``name: detail`` line for CLI output."""
+        state = "fired" if self.fired else "no-op"
+        return f"{self.name} [{state}]: {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# constant folding (always on)
+# ---------------------------------------------------------------------------
+
+
+def _rewrap(condition: PlanCond) -> AndCond:
+    """Normalize a rewritten WHERE tree back to a top-level AndCond."""
+    if isinstance(condition, AndCond):
+        return condition
+    if isinstance(condition, TrueCond):
+        return AndCond()
+    wrapper = AndCond()
+    wrapper.add(condition)
+    return wrapper
+
+
+def _fold_condition(condition: PlanCond) -> PlanCond:
+    """One folding step; applied post-order by :func:`rewrite_condition`."""
+    if isinstance(condition, AndCond):
+        parts = [
+            p for p in condition.parts if not isinstance(p, TrueCond)
+        ]
+        if any(isinstance(p, FalseCond) for p in parts):
+            return FalseCond()
+        if not parts:
+            return TrueCond()
+        if len(parts) == 1:
+            return parts[0]
+        return AndCond(parts)
+    if isinstance(condition, OrCond):
+        parts = [
+            p for p in condition.parts if not isinstance(p, FalseCond)
+        ]
+        if any(isinstance(p, TrueCond) for p in parts):
+            return TrueCond()
+        if not parts:
+            return FalseCond()
+        if len(parts) == 1:
+            return parts[0]
+        return OrCond(parts)
+    if isinstance(condition, NotCond):
+        if isinstance(condition.operand, TrueCond):
+            return FalseCond()
+        if isinstance(condition.operand, FalseCond):
+            return TrueCond()
+        return condition
+    if isinstance(condition, ExistsCond):
+        if contains_false(condition.subplan.where):
+            return FalseCond()
+        return condition
+    if isinstance(condition, AggregateCountCond):
+        condition.subplans = [
+            sub
+            for sub in condition.subplans
+            if not contains_false(sub.where)
+        ]
+        if not condition.subplans:
+            outcome = _COMPARATORS[condition.op](
+                float(condition.offset), condition.value
+            )
+            return TrueCond() if outcome else FalseCond()
+        return condition
+    return condition
+
+
+def fold_plan(plan: QueryPlan) -> QueryPlan:
+    """Propagate constants and prune dead branches, in place.
+
+    Sub-selects fold before the selects that own them, so an EXISTS over
+    a statically false body collapses bottom-up in one sweep.  A union
+    left with a single live branch collapses to that branch (inheriting
+    the union's ORDER BY, and conservatively re-acquiring DISTINCT when
+    the UNION keyword was what guaranteed uniqueness).
+    """
+    for select in reversed(list(iter_selects(plan))):
+        select.where = _rewrap(
+            rewrite_condition(select.where, _fold_condition)
+        )
+    root = plan.root
+    if isinstance(root, PlanUnion):
+        root.branches = [
+            b for b in root.branches if not contains_false(b.where)
+        ]
+        if not root.branches:
+            plan.root = None
+        elif len(root.branches) == 1:
+            only = root.branches[0]
+            if not only.order_by:
+                only.order_by = list(root.order_by)
+            if not only.distinct and not _distinct_redundant(only):
+                only.distinct = True
+            plan.root = only
+    elif isinstance(root, LogicalSelect) and contains_false(root.where):
+        plan.root = None
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# pass: paths-join-elimination (Section 4.5)
+# ---------------------------------------------------------------------------
+
+
+def _filter_analysis(
+    cond: PathFilterCond, marking: SchemaMarking
+) -> tuple[bool, bool, set[str]]:
+    """Evaluate a regex filter against the marking.
+
+    Returns ``(any_match, needed, matched_paths)``: whether any candidate
+    name can satisfy the filter at all, whether some enumerated root path
+    fails it (so the filter restricts something), and the set of
+    enumerated root paths that do match (meaningless when an I-P label is
+    involved — those contribute no enumerable paths).
+    """
+    assert cond.names is not None
+    compiled = re.compile(compile_pattern(list(cond.pattern), cond.anchored))
+    needed = False
+    any_match = False
+    matched_paths: set[str] = set()
+    for name in cond.names:
+        if marking.classify(name) is PathClass.INFINITE:
+            needed = True
+            any_match = True  # cannot rule the name out statically
+            continue
+        paths = marking.root_paths(name) or []
+        matched = [p for p in paths if compiled.search(p)]
+        if matched:
+            any_match = True
+            matched_paths.update(matched)
+        if len(matched) != len(paths):
+            needed = True
+    return any_match, needed, matched_paths
+
+
+def _pass_paths_join_elimination(
+    plan: QueryPlan, context: PassContext
+) -> PassReport:
+    name = "paths-join-elimination"
+    marking = context.marking
+    if marking is None:
+        return PassReport(name, False, 0, "no schema marking available")
+    removed = 0
+    emptied = 0
+
+    def decide(cond: PlanCond) -> PlanCond:
+        nonlocal removed, emptied
+        if not isinstance(cond, PathFilterCond) or cond.mode != "regex":
+            return cond
+        if cond.names is None:
+            return cond
+        any_match, needed, _ = _filter_analysis(cond, marking)
+        if not any_match:
+            emptied += 1
+            return FalseCond()
+        if not needed:
+            removed += 1
+            return TrueCond()
+        return cond
+
+    for select in iter_selects(plan):
+        select.where = _rewrap(rewrite_condition(select.where, decide))
+    dropped_scans = _remove_orphan_paths(plan)
+    changes = removed + emptied
+    detail = (
+        f"dropped {removed} redundant filter(s), proved {emptied} "
+        f"unsatisfiable, removed {dropped_scans} Paths join(s)"
+        if changes
+        else "every Paths filter is load-bearing"
+    )
+    return PassReport(name, changes > 0, changes, detail)
+
+
+def _remove_orphan_paths(plan: QueryPlan) -> int:
+    """Drop `Paths` links and scans no surviving filter references."""
+    removed = 0
+    for select in iter_selects(plan):
+        referenced = {
+            cond.paths_alias
+            for cond in iter_conditions(select.where)
+            if isinstance(cond, PathFilterCond)
+        }
+
+        def unlink(cond: PlanCond) -> PlanCond:
+            if (
+                isinstance(cond, PathsLinkCond)
+                and cond.paths_alias not in referenced
+            ):
+                return TrueCond()
+            return cond
+
+        select.where = _rewrap(rewrite_condition(select.where, unlink))
+        before = len(select.scans)
+        select.scans = [
+            scan
+            for scan in select.scans
+            if not (scan.is_paths and scan.alias not in referenced)
+        ]
+        removed += before - len(select.scans)
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# pass: regex-to-equality (Table 3 + U-P marking)
+# ---------------------------------------------------------------------------
+
+
+def _pass_regex_to_equality(
+    plan: QueryPlan, context: PassContext
+) -> PassReport:
+    name = "regex-to-equality"
+    marking = context.marking
+    converted = 0
+
+    def convert(cond: PlanCond) -> PlanCond:
+        nonlocal converted
+        if not isinstance(cond, PathFilterCond) or cond.mode != "regex":
+            return cond
+        literal = exact_path(list(cond.pattern), cond.anchored)
+        if literal is not None:
+            cond.mode = "equality"
+            cond.literal = literal
+            converted += 1
+            return cond
+        if marking is None or cond.names is None:
+            return cond
+        if any(
+            marking.classify(n) is PathClass.INFINITE for n in cond.names
+        ):
+            return cond
+        any_match, needed, matched = _filter_analysis(cond, marking)
+        # `needed` distinguishes this from a filter the elimination pass
+        # (when enabled) would have removed outright: only a genuinely
+        # restricting filter whose candidates' root paths satisfy the
+        # regex in exactly one place collapses to an equality.
+        if any_match and needed and len(matched) == 1:
+            cond.mode = "equality"
+            cond.literal = next(iter(matched))
+            converted += 1
+        return cond
+
+    for select in iter_selects(plan):
+        select.where = _rewrap(rewrite_condition(select.where, convert))
+    detail = (
+        f"converted {converted} regex filter(s) to path equality"
+        if converted
+        else "no filter denotes a single literal path"
+    )
+    return PassReport(name, converted > 0, converted, detail)
+
+
+# ---------------------------------------------------------------------------
+# pass: prune-distinct-order
+# ---------------------------------------------------------------------------
+
+
+def _distinct_redundant(select: LogicalSelect) -> bool:
+    """True when the select provably yields unique rows without DISTINCT:
+    one element scan, every `Paths` scan tied to it by a top-level 1:1
+    ``path_id`` link (elements reference exactly one `Paths` row)."""
+    element_scans = [s for s in select.scans if not s.is_paths]
+    if len(element_scans) != 1:
+        return False
+    linked = {
+        part.paths_alias
+        for part in select.where.parts
+        if isinstance(part, PathsLinkCond)
+    }
+    return all(
+        scan.alias in linked for scan in select.scans if scan.is_paths
+    )
+
+
+def _pass_prune_distinct_order(
+    plan: QueryPlan, context: PassContext
+) -> PassReport:
+    name = "prune-distinct-order"
+    branches = plan.branches()
+    branch_ids = {id(b) for b in branches}
+    is_union = isinstance(plan.root, PlanUnion)
+    orders = 0
+    distincts = 0
+    for select in iter_selects(plan):
+        if id(select) not in branch_ids and select.order_by:
+            # Sub-select bodies (EXISTS / scalar COUNT): ordering is
+            # invisible to the outer query, so it is pure overhead.
+            select.order_by = []
+            orders += 1
+    for branch in branches:
+        if is_union and branch.order_by:
+            # The union's global ORDER BY supersedes per-branch ones
+            # (which SQLite would reject around UNION anyway).
+            branch.order_by = []
+            orders += 1
+        if branch.distinct and (is_union or _distinct_redundant(branch)):
+            branch.distinct = False
+            distincts += 1
+    changes = orders + distincts
+    detail = (
+        f"dropped {orders} ORDER BY clause(s), {distincts} DISTINCT(s)"
+        if changes
+        else "all DISTINCT/ORDER BY clauses are load-bearing"
+    )
+    return PassReport(name, changes > 0, changes, detail)
+
+
+# ---------------------------------------------------------------------------
+# pass: dedup-union-branches
+# ---------------------------------------------------------------------------
+
+
+def _collect_aliases(select: LogicalSelect, out: list[str]) -> None:
+    for scan in select.scans:
+        if scan.alias not in out:
+            out.append(scan.alias)
+    for cond in iter_conditions(select.where):
+        for sub in child_subplans(cond):
+            _collect_aliases(sub, out)
+
+
+def _rename_text(text: str, mapping: dict[str, str]) -> str:
+    """Replace ``alias.`` column references (aliases never contain dots,
+    so requiring the trailing dot keeps string literals intact)."""
+    for alias in sorted(mapping, key=len, reverse=True):
+        text = text.replace(f"{alias}.", f"{mapping[alias]}.")
+    return text
+
+
+def _rename_select(select: LogicalSelect, mapping: dict[str, str]) -> None:
+    select.columns = [_rename_text(c, mapping) for c in select.columns]
+    select.order_by = [_rename_text(o, mapping) for o in select.order_by]
+    for scan in select.scans:
+        scan.alias = mapping.get(scan.alias, scan.alias)
+    for cond in iter_conditions(select.where):
+        if isinstance(cond, RawCond):
+            cond.sql = _rename_text(cond.sql, mapping)
+        elif isinstance(cond, PathFilterCond):
+            cond.alias = mapping.get(cond.alias, cond.alias)
+            cond.paths_alias = mapping.get(cond.paths_alias, cond.paths_alias)
+        elif isinstance(cond, PathsLinkCond):
+            cond.owner_alias = mapping.get(cond.owner_alias, cond.owner_alias)
+            cond.paths_alias = mapping.get(cond.paths_alias, cond.paths_alias)
+        elif isinstance(cond, NameFilterCond):
+            cond.alias = mapping.get(cond.alias, cond.alias)
+        elif isinstance(cond, StructuralCond):
+            cond.context_alias = mapping.get(
+                cond.context_alias, cond.context_alias
+            )
+            cond.target_alias = mapping.get(
+                cond.target_alias, cond.target_alias
+            )
+        elif isinstance(cond, DocEqCond):
+            cond.left_alias = mapping.get(cond.left_alias, cond.left_alias)
+            cond.right_alias = mapping.get(cond.right_alias, cond.right_alias)
+        elif isinstance(cond, LevelCond):
+            cond.alias = mapping.get(cond.alias, cond.alias)
+            if cond.base_alias is not None:
+                cond.base_alias = mapping.get(
+                    cond.base_alias, cond.base_alias
+                )
+        for sub in child_subplans(cond):
+            _rename_select(sub, mapping)
+
+
+def _fingerprint_cond(cond: PlanCond) -> str:
+    if isinstance(cond, (AndCond, OrCond)):
+        tag = "and" if isinstance(cond, AndCond) else "or"
+        inner = ",".join(_fingerprint_cond(p) for p in cond.parts)
+        return f"{tag}({inner})"
+    if isinstance(cond, NotCond):
+        return f"not({_fingerprint_cond(cond.operand)})"
+    if isinstance(cond, ExistsCond):
+        return f"exists({_fingerprint_select(cond.subplan)})"
+    if isinstance(cond, AggregateCountCond):
+        subs = ",".join(_fingerprint_select(s) for s in cond.subplans)
+        return f"count({subs};{cond.op};{cond.value!r};{cond.offset})"
+    if isinstance(cond, PathFilterCond):
+        names = sorted(cond.names) if cond.names is not None else None
+        return (
+            f"pathfilter({cond.alias};{cond.paths_alias};{cond.mode};"
+            f"{cond.literal!r};{cond.anchored};{cond.pattern!r};{names})"
+        )
+    # Remaining leaves fully describe themselves in their brief() line.
+    return cond.brief()
+
+
+def _fingerprint_select(select: LogicalSelect) -> str:
+    scans = ",".join(f"{s.table} {s.alias}" for s in select.scans)
+    return (
+        f"select(distinct={select.distinct};cols={select.columns!r};"
+        f"from={scans};where={_fingerprint_cond(select.where)};"
+        f"order={select.order_by!r})"
+    )
+
+
+def _canonical_key(select: LogicalSelect) -> str:
+    """Alias-independent fingerprint of a branch."""
+    clone = copy.deepcopy(select)
+    aliases: list[str] = []
+    _collect_aliases(clone, aliases)
+    mapping = {alias: f"§{i}§" for i, alias in enumerate(aliases)}
+    _rename_select(clone, mapping)
+    return _fingerprint_select(clone)
+
+
+def _pass_dedup_union_branches(
+    plan: QueryPlan, context: PassContext
+) -> PassReport:
+    name = "dedup-union-branches"
+    if not isinstance(plan.root, PlanUnion):
+        return PassReport(name, False, 0, "plan is not a union")
+    seen: set[str] = set()
+    kept: list[LogicalSelect] = []
+    merged = 0
+    for branch in plan.root.branches:
+        key = _canonical_key(branch)
+        if key in seen:
+            merged += 1
+            continue
+        seen.add(key)
+        kept.append(branch)
+    plan.root.branches = kept
+    detail = (
+        f"merged {merged} duplicate branch(es)"
+        if merged
+        else "all union branches are distinct"
+    )
+    return PassReport(name, merged > 0, merged, detail)
+
+
+# ---------------------------------------------------------------------------
+# registry and pipeline
+# ---------------------------------------------------------------------------
+
+
+PASSES: dict[str, Callable[[QueryPlan, PassContext], PassReport]] = {
+    "paths-join-elimination": _pass_paths_join_elimination,
+    "regex-to-equality": _pass_regex_to_equality,
+    "prune-distinct-order": _pass_prune_distinct_order,
+    "dedup-union-branches": _pass_dedup_union_branches,
+}
+
+#: All passes, in the order the default pipeline runs them.
+DEFAULT_PASS_NAMES: tuple[str, ...] = tuple(PASSES)
+
+
+@dataclass
+class PassPipeline:
+    """An ordered, validated selection of optimizer passes."""
+
+    names: tuple[str, ...] = field(default=DEFAULT_PASS_NAMES)
+
+    def __post_init__(self) -> None:
+        self.names = tuple(self.names)
+        unknown = [n for n in self.names if n not in PASSES]
+        if unknown:
+            raise TranslationError(
+                "unknown optimizer pass(es): "
+                + ", ".join(sorted(unknown))
+                + f" (available: {', '.join(PASSES)})"
+            )
+
+    def run(
+        self, plan: QueryPlan, context: Optional[PassContext] = None
+    ) -> tuple[QueryPlan, list[PassReport]]:
+        """Fold, then run each pass (folding after every one)."""
+        if context is None:
+            context = PassContext()
+        fold_plan(plan)
+        reports: list[PassReport] = []
+        for pass_name in self.names:
+            reports.append(PASSES[pass_name](plan, context))
+            fold_plan(plan)
+        return plan, reports
+
+
+def resolve_pass_names(
+    passes: Optional[Sequence[str]], path_filter_optimization: bool
+) -> tuple[str, ...]:
+    """The pass list an engine runs.
+
+    ``passes`` (when given) wins; otherwise the default list, minus the
+    Section 4.5 elimination pass when its ablation switch is off.
+    """
+    if passes is not None:
+        return tuple(passes)
+    if path_filter_optimization:
+        return DEFAULT_PASS_NAMES
+    return tuple(
+        n for n in DEFAULT_PASS_NAMES if n != "paths-join-elimination"
+    )

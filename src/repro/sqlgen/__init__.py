@@ -19,6 +19,11 @@ from repro.sqlgen.ast import (
     TableRef,
     UnionStatement,
 )
+from repro.sqlgen.dialect import (
+    DEFAULT_DIALECT,
+    AnsiDialect,
+    SQLiteDialect,
+)
 from repro.sqlgen.render import (
     blob_literal,
     number_literal,
@@ -29,9 +34,12 @@ from repro.sqlgen.render import (
 
 __all__ = [
     "And",
+    "AnsiDialect",
     "Comparison",
     "Condition",
+    "DEFAULT_DIALECT",
     "Exists",
+    "SQLiteDialect",
     "Not",
     "Or",
     "Raw",

@@ -32,11 +32,14 @@ class And(Condition):
     parts: list[Condition] = field(default_factory=list)
 
     def add(self, condition: Condition | None) -> None:
-        """Append a condition, flattening nested ANDs; ``None`` is a no-op."""
+        """Append a condition, flattening nested ANDs recursively (so
+        ``a AND (b AND c)`` renders without redundant parentheses);
+        ``None`` is a no-op."""
         if condition is None:
             return
         if isinstance(condition, And):
-            self.parts.extend(condition.parts)
+            for part in condition.parts:
+                self.add(part)
         else:
             self.parts.append(condition)
 
@@ -46,6 +49,18 @@ class Or(Condition):
     """Disjunction; an empty disjunction is FALSE."""
 
     parts: list[Condition] = field(default_factory=list)
+
+    def add(self, condition: Condition | None) -> None:
+        """Append a condition, flattening nested ORs recursively (so
+        ``a OR (b OR c)`` renders without redundant parentheses);
+        ``None`` is a no-op."""
+        if condition is None:
+            return
+        if isinstance(condition, Or):
+            for part in condition.parts:
+                self.add(part)
+        else:
+            self.parts.append(condition)
 
 
 @dataclass

@@ -32,6 +32,20 @@ def test_trajectory_payload_structure(tmp_path):
         assert entry["seconds"] >= 0.0
         assert entry["nodes"] >= 0
         assert entry["xpath"]
+        plan = entry["plan"]
+        assert isinstance(plan["fired_passes"], list)
+        # The pipeline only removes work: every counter is monotone
+        # non-increasing and the optimized plan still scans something.
+        for key in ("branches", "scans", "paths_joins"):
+            before, after = plan[key]
+            assert after <= before
+        assert plan["scans"][1] >= 1
+
+    optimizer = payload["optimizer"]
+    assert "paths-join-elimination" in optimizer["passes"]
+    # Section 4.5 must pay off somewhere on the XPathMark workload.
+    assert optimizer["pass_hits"]["paths-join-elimination"] >= 1
+    assert all(hits >= 0 for hits in optimizer["pass_hits"].values())
 
     runs = payload["serving_throughput"]["runs"]
     assert [run["workers"] for run in runs] == [1, 2]

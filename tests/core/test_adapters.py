@@ -1,4 +1,8 @@
-"""Unit tests for the mapping adapters (schema-aware vs Edge)."""
+"""Unit tests for the mapping adapters (schema-aware vs Edge).
+
+The Section 4.5 path-filter decisions formerly tested here moved into
+the optimizer passes; the equivalent behaviour is asserted through the
+translator (plan in, SQL out)."""
 
 import pytest
 
@@ -10,6 +14,8 @@ from repro.core.adapters import (
     combine_names,
 )
 from repro.core.pathregex import PatternStep
+from repro.core.translator import PPFTranslator
+from repro.plan.nodes import FalseCond
 
 
 @pytest.fixture(scope="module")
@@ -39,42 +45,31 @@ class TestSchemaAwareAdapter:
         assert sorted(c.table for c in candidates) == ["C", "G"]
         assert all(c.name_filter is None for c in candidates)
 
-    def test_path_filter_unique_path_none(self, schema_adapter):
-        pattern = [
-            PatternStep("child", "A"),
-            PatternStep("child", "B"),
-            PatternStep("child", "C"),
-            PatternStep("child", "D"),
-        ]
-        decision = schema_adapter.path_filter(
-            Candidate("D", frozenset({"D"})), pattern, True
-        )
-        assert decision.kind == "none"
+    def test_path_filter_unique_path_dropped(self, schema_adapter):
+        """U-P labels on their sole path need no `Paths` join at all."""
+        result = PPFTranslator(schema_adapter).translate("/A/B/C/D")
+        assert result.path_filter_count() == 0
 
-    def test_path_filter_recursive_always(self, schema_adapter):
-        pattern = [PatternStep("desc", "G")]
-        decision = schema_adapter.path_filter(
-            Candidate("G", frozenset({"G"})), pattern, True
-        )
-        assert decision.kind == "regex"
+    def test_path_filter_recursive_stays_regex(self, schema_adapter):
+        """I-P labels (G is recursive) always keep the regex filter."""
+        result = PPFTranslator(schema_adapter).translate("//G")
+        assert result.path_filter_count() == 1
+        assert "regexp_like" in result.sql
 
     def test_path_filter_impossible_empty(self, schema_adapter):
-        pattern = [PatternStep("child", "A"), PatternStep("child", "F")]
-        decision = schema_adapter.path_filter(
-            Candidate("F", frozenset({"F"})), pattern, True
-        )
-        assert decision.kind == "empty"
+        """No root path of F matches /A/F → statically empty."""
+        result = PPFTranslator(schema_adapter).translate("/A/F")
+        assert result.is_empty
 
     def test_path_filter_equality_payload(self, schema_adapter):
+        """With 4.5 elimination off, an exact pattern still lowers to a
+        path equality instead of a regex (Table 3)."""
         literal = SchemaAwareAdapter(
             schema_adapter.store, path_filter_optimization=False
         )
-        pattern = [PatternStep("child", "A"), PatternStep("child", "B")]
-        decision = literal.path_filter(
-            Candidate("B", frozenset({"B"})), pattern, True
-        )
-        assert decision.kind == "equality"
-        assert decision.payload == "/A/B"
+        result = PPFTranslator(literal).translate("/A/B")
+        assert result.path_filter_count() == 1
+        assert "= '/A/B'" in result.sql
 
     def test_text_expr_only_with_column(self, schema_adapter):
         f = Candidate("F", frozenset({"F"}))
@@ -92,7 +87,7 @@ class TestSchemaAwareAdapter:
         condition = schema_adapter.attr_condition(
             d, "D", "nope", "=", "'x'", False, lambda t: t
         )
-        assert condition.sql == "1=0"
+        assert isinstance(condition, FalseCond)
 
 
 class TestEdgeAdapter:
@@ -111,15 +106,15 @@ class TestEdgeAdapter:
         assert candidate.name_filter is None
 
     def test_path_filter_always_fires(self, edge_adapter):
-        pattern = [PatternStep("child", "A")]
-        decision = edge_adapter.path_filter(
-            Candidate("edge", None), pattern, True
-        )
-        assert decision.kind == "equality"
-        fuzzy = edge_adapter.path_filter(
-            Candidate("edge", None), [PatternStep("desc", "A")], True
-        )
-        assert fuzzy.kind == "regex"
+        """Without a schema the `Paths` join can never be dropped; exact
+        patterns still get the cheaper equality form."""
+        translator = PPFTranslator(edge_adapter)
+        exact = translator.translate("/A")
+        assert exact.path_filter_count() == 1
+        assert "= '/A'" in exact.sql
+        fuzzy = translator.translate("//A")
+        assert fuzzy.path_filter_count() == 1
+        assert "regexp_like" in fuzzy.sql
 
     def test_text_expr_casts_for_numbers(self, edge_adapter):
         candidate = Candidate("edge", None)

@@ -50,8 +50,16 @@ class TestQueryResult:
         assert all(isinstance(r.dewey_pos, bytes) for r in rows)
 
     def test_explain_returns_sql(self, figure1_engines):
-        sql = figure1_engines["ppf"].explain("//F")
-        assert sql.startswith("SELECT DISTINCT")
+        report = figure1_engines["ppf"].explain("//F")
+        assert isinstance(report, str)
+        assert report.startswith("SELECT")
+        assert "FROM F" in report
+        # The report also carries the optimizer diagnostics.
+        assert report.plan is not None
+        assert "prune-distinct-order" in report.fired
+        assert report.stats_before["paths_joins"] >= report.stats_after[
+            "paths_joins"
+        ]
 
     def test_empty_result(self, figure1_engines):
         result = figure1_engines["ppf"].execute("//F[.=99]")

@@ -7,6 +7,8 @@ fragment splitter, the regex compiler, the 4.5 statics and the join
 emission far beyond the hand-written cases.
 """
 
+import itertools
+
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import (
@@ -22,7 +24,16 @@ from repro import (
     infer_schema,
 )
 from repro.baselines.native import NativeEngine as _Native
+from repro.plan.passes import DEFAULT_PASS_NAMES
 from repro.xmltree.nodes import Document, ElementNode
+
+#: Every subset of the optimizer pipeline, in pipeline order — from the
+#: unoptimized plan (no passes) to the full default set.
+_PASS_COMBINATIONS = [
+    combo
+    for size in range(len(DEFAULT_PASS_NAMES) + 1)
+    for combo in itertools.combinations(DEFAULT_PASS_NAMES, size)
+]
 
 #: internal tags never carry text; leaf tags always do.  Value
 #: comparisons target only leaf tags, where XPath string-value equals the
@@ -142,4 +153,28 @@ def test_sql_engines_match_oracle(document, expression):
         assert got == expected, (
             f"{name} disagrees on {expression!r}: {got} != {expected}\n"
             f"{engine.explain(expression)}"
+        )
+
+
+@given(documents(), queries())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_every_pass_combination_matches_oracle(document, expression):
+    """Optimizer passes must be semantics-preserving independently and
+    in every combination: each subset of the pipeline (including the
+    empty, fully unoptimized plan) returns the oracle's node set."""
+    expected = _oracle_ids(document, expression)
+
+    store = ShreddedStore.create(Database.memory(), infer_schema([document]))
+    store.load(document)
+
+    for combination in _PASS_COMBINATIONS:
+        engine = PPFEngine(store, passes=combination)
+        got = sorted(engine.execute(expression).ids)
+        assert got == expected, (
+            f"passes={combination} disagree on {expression!r}: "
+            f"{got} != {expected}\n{engine.explain(expression)}"
         )

@@ -199,8 +199,17 @@ class TestSection45:
 
     def test_projection_and_order(self, engine):
         sql = engine.translate("//F").sql
-        assert sql.startswith("SELECT DISTINCT")
+        # The prune-distinct-order pass drops the DISTINCT: a single
+        # F scan cannot produce duplicate element rows.
+        assert sql.startswith("SELECT F.id")
         assert "ORDER BY doc_id, dewey_pos" in sql
+
+    def test_distinct_kept_without_prune_pass(self, figure1_store):
+        engine = PPFEngine(
+            figure1_store,
+            passes=("paths-join-elimination", "regex-to-equality"),
+        )
+        assert engine.translate("//F").sql.startswith("SELECT DISTINCT")
 
 
 class TestUnsupported:

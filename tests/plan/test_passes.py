@@ -1,0 +1,196 @@
+"""The optimizer-pass pipeline: toggling, reports, and plan statistics.
+
+Each pass must be independently disableable and semantics-preserving;
+the ``explain`` report must say which passes fired; and the Section 4.5
+elimination pass must actually remove `Paths` joins on the XPathMark
+workload (the acceptance criterion of the logical-plan refactor).
+"""
+
+import pytest
+
+from repro import Database, PPFEngine, ShreddedStore, figure1_schema
+from repro.core.translator import PPFTranslator
+from repro.core.adapters import SchemaAwareAdapter
+from repro.errors import TranslationError
+from repro.plan import (
+    DEFAULT_PASS_NAMES,
+    PASSES,
+    PassPipeline,
+    plan_stats,
+    resolve_pass_names,
+)
+from repro.workloads.xpathmark import XPATHMARK_QUERIES
+
+
+@pytest.fixture()
+def engine(figure1_store):
+    return PPFEngine(figure1_store)
+
+
+class TestPipelineConfig:
+    def test_default_passes_registered(self):
+        assert DEFAULT_PASS_NAMES == tuple(PASSES)
+        assert "paths-join-elimination" in DEFAULT_PASS_NAMES
+        assert "regex-to-equality" in DEFAULT_PASS_NAMES
+        assert "prune-distinct-order" in DEFAULT_PASS_NAMES
+        assert "dedup-union-branches" in DEFAULT_PASS_NAMES
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(TranslationError, match="unknown optimizer"):
+            PassPipeline(("no-such-pass",))
+
+    def test_resolve_explicit_wins(self):
+        assert resolve_pass_names(("regex-to-equality",), True) == (
+            "regex-to-equality",
+        )
+        assert resolve_pass_names((), True) == ()
+
+    def test_resolve_ablation_drops_elimination(self):
+        names = resolve_pass_names(None, False)
+        assert "paths-join-elimination" not in names
+        assert "regex-to-equality" in names
+
+    def test_engine_accepts_explicit_passes(self, figure1_store):
+        engine = PPFEngine(figure1_store, passes=())
+        assert engine.translator.pass_names == ()
+        sql = engine.translate("//F").sql
+        # Fully unoptimized: Algorithm 1 literal, DISTINCT intact.
+        assert sql.startswith("SELECT DISTINCT")
+        assert "paths" in sql
+
+
+class TestPassEffects:
+    def test_each_pass_disableable_independently(self, figure1_store):
+        """Removing one pass keeps the others running — and the result
+        set never changes."""
+        expected = sorted(PPFEngine(figure1_store).execute("//F").ids)
+        for dropped in DEFAULT_PASS_NAMES:
+            remaining = tuple(
+                n for n in DEFAULT_PASS_NAMES if n != dropped
+            )
+            engine = PPFEngine(figure1_store, passes=remaining)
+            assert engine.translator.pass_names == remaining
+            assert sorted(engine.execute("//F").ids) == expected
+
+    def test_elimination_drops_paths_join(self, figure1_store):
+        with_pass = PPFEngine(figure1_store)
+        without = PPFEngine(
+            figure1_store,
+            passes=tuple(
+                n
+                for n in DEFAULT_PASS_NAMES
+                if n != "paths-join-elimination"
+            ),
+        )
+        assert with_pass.translate("/A/B/C/D").path_filter_count() == 0
+        assert without.translate("/A/B/C/D").path_filter_count() == 1
+
+    def test_regex_to_equality(self, figure1_store):
+        engine = PPFEngine(figure1_store, passes=("regex-to-equality",))
+        sql = engine.translate("/A/B").sql
+        assert "= '/A/B'" in sql
+        assert "regexp_like" not in sql
+
+    def test_dedup_union_branches(self, figure1_store):
+        """Identical union branches collapse to one (same query written
+        twice through a union)."""
+        engine = PPFEngine(figure1_store)
+        merged = engine.translate("//F | //F")
+        assert merged.branch_count() == 1
+        plain = sorted(engine.execute("//F").ids)
+        assert sorted(engine.execute("//F | //F").ids) == plain
+
+    def test_dedup_reports_fired(self, engine):
+        report = engine.explain("//F | //F")
+        assert "dedup-union-branches" in report.fired
+
+    def test_explain_reports_fired_passes(self, engine):
+        report = engine.explain("/A/B/C/D")
+        assert "paths-join-elimination" in report.fired
+        by_name = {r.name: r for r in report.pass_reports}
+        assert set(by_name) == set(DEFAULT_PASS_NAMES)
+        assert by_name["paths-join-elimination"].changes >= 1
+        assert "Paths join" in by_name["paths-join-elimination"].detail
+
+    def test_plan_stats_shrink(self, engine):
+        report = engine.explain("/A/B/C/D")
+        assert report.stats_before["paths_joins"] == 1
+        assert report.stats_after["paths_joins"] == 0
+        assert report.stats_after["scans"] < report.stats_before["scans"]
+
+    def test_plan_stats_keys(self, engine):
+        translation = engine.translate("//F")
+        stats = plan_stats(translation.plan)
+        for key in (
+            "branches",
+            "scans",
+            "paths_joins",
+            "path_filters",
+            "structural_joins",
+            "exists_subplans",
+            "conditions",
+        ):
+            assert key in stats
+            assert stats[key] >= 0
+
+
+class TestXPathMarkAcceptance:
+    def test_elimination_removes_joins_on_workload(self):
+        """Acceptance: over the XPathMark query set the Section 4.5
+        pass removes at least one `Paths` join compared to the same
+        pipeline with the pass disabled."""
+        from repro.schema.inference import infer_schema
+        from repro.workloads.xmark import XMarkConfig, generate_xmark
+
+        document = generate_xmark(XMarkConfig(scale=0.5, seed=7))
+        store = ShreddedStore.create(
+            Database.memory(), infer_schema([document])
+        )
+        store.load(document)
+
+        optimized = PPFEngine(store)
+        literal = PPFEngine(
+            store,
+            passes=tuple(
+                n
+                for n in DEFAULT_PASS_NAMES
+                if n != "paths-join-elimination"
+            ),
+        )
+        joins = [0, 0]
+        for query in XPATHMARK_QUERIES:
+            joins[0] += optimized.translate(query.xpath).path_filter_count()
+            joins[1] += literal.translate(query.xpath).path_filter_count()
+        assert joins[0] < joins[1]
+        assert joins[1] - joins[0] >= 1
+
+
+class TestTranslatorFacade:
+    def test_translator_builds_no_sql_directly(self):
+        """The facade only parses, plans, optimizes and lowers — it
+        never constructs SelectStatements itself."""
+        import inspect
+
+        import repro.core.translator as translator_module
+
+        source = inspect.getsource(translator_module)
+        assert "SelectStatement(" not in source
+        assert "UnionStatement(" not in source
+
+    def test_fingerprint_covers_configuration(self, figure1_store):
+        adapter = SchemaAwareAdapter(figure1_store)
+        default = PPFTranslator(adapter).fingerprint
+        ablated = PPFTranslator(
+            SchemaAwareAdapter(figure1_store, path_filter_optimization=False)
+        ).fingerprint
+        explicit = PPFTranslator(adapter, passes=()).fingerprint
+        assert len({default, ablated, explicit}) == 3
+
+    def test_result_cache_keyed_on_passes(self, figure1_store):
+        """Two engines over one store with different pass sets must not
+        share cached rows."""
+        cache_engine = PPFEngine(figure1_store)
+        key_a = cache_engine._result_key("//F")
+        key_b = PPFEngine(figure1_store, passes=())._result_key("//F")
+        assert key_a is not None and key_b is not None
+        assert key_a != key_b

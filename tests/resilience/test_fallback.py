@@ -48,7 +48,7 @@ def _force_timeout(plan, db):
     """Every subsequent SELECT sleeps past a tiny wall-clock budget."""
     db.policy = db.policy.replace(query_timeout=0.02)
     plan.script(
-        "delay", match="SELECT DISTINCT", times=1000, seconds=0.05
+        "delay", match="SELECT", times=1000, seconds=0.05
     )
 
 
@@ -56,7 +56,7 @@ def _force_retry_exhaustion(plan, db):
     db.policy = db.policy.replace(
         max_retries=2, backoff_base=0.001, backoff_cap=0.01
     )
-    plan.script("busy", match="SELECT DISTINCT", times=1000)
+    plan.script("busy", match="SELECT", times=1000)
 
 
 class TestFallback:
@@ -131,7 +131,7 @@ class TestFallbackDeclines:
             FaultInjectingDatabase(sqlite3.connect(path), plan, policy)
         )
         assert reopened.resident_documents() is None
-        plan.script("delay", match="SELECT DISTINCT", times=10, seconds=0.05)
+        plan.script("delay", match="SELECT", times=10, seconds=0.05)
         engine = PPFEngine(reopened, fallback=True)
         with pytest.raises(QueryTimeoutError):
             engine.execute("//book")

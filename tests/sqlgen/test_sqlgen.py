@@ -68,6 +68,26 @@ class TestConditions:
         conjunction.add(None)
         assert [part.sql for part in conjunction.parts] == ["a", "b", "c"]
 
+    def test_and_add_flattens_recursively(self):
+        conjunction = And()
+        conjunction.add(And([Raw("a"), And([Raw("b"), And([Raw("c")])])]))
+        assert [part.sql for part in conjunction.parts] == ["a", "b", "c"]
+        assert render_condition(conjunction) == "(a AND b AND c)"
+
+    def test_or_add_flattens(self):
+        disjunction = Or()
+        disjunction.add(Or([Raw("a"), Or([Raw("b")])]))
+        disjunction.add(None)
+        disjunction.add(Raw("c"))
+        assert [part.sql for part in disjunction.parts] == ["a", "b", "c"]
+        assert render_condition(disjunction) == "(a OR b OR c)"
+
+    def test_mixed_nesting_not_flattened(self):
+        conjunction = And()
+        conjunction.add(Raw("a"))
+        conjunction.add(Or([Raw("b"), Raw("c")]))
+        assert render_condition(conjunction) == "(a AND (b OR c))"
+
 
 class TestStatements:
     def test_basic_select(self):

@@ -57,7 +57,19 @@ class TestCLI:
         main(["shred", db_path, *xml_files])
         capsys.readouterr()
         assert main(["explain", db_path, "//price"]) == 0
-        assert "SELECT DISTINCT" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+        assert "FROM price" in out
+
+    def test_explain_plan(self, db_path, xml_files, capsys):
+        main(["shred", db_path, *xml_files])
+        capsys.readouterr()
+        assert main(["explain", db_path, "--plan", "//price"]) == 0
+        out = capsys.readouterr().out
+        assert "-- logical plan:" in out
+        assert "-- optimizer passes:" in out
+        assert "paths-join-elimination" in out
+        assert "-- SQL:" in out
 
     def test_info_lists_relations(self, db_path, xml_files, capsys):
         main(["shred", db_path, *xml_files])
