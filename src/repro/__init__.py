@@ -25,6 +25,7 @@ Quickstart::
 
 from repro.errors import (
     DeweyError,
+    PlanVerificationError,
     QueryCancelledError,
     QueryLimitError,
     QueryTimeoutError,
@@ -86,12 +87,22 @@ from repro.serving import (
     ConnectionPool,
     ResultCache,
 )
+from repro.analysis import (
+    CodeLinter,
+    Finding,
+    PlanVerifier,
+    Report,
+    Severity,
+    XPathLinter,
+    verify_plan,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccelEngine",
     "AccelStore",
+    "CodeLinter",
     "ConnectionPool",
     "Database",
     "DeweyError",
@@ -102,16 +113,20 @@ __all__ = [
     "ElementNode",
     "FaultInjectingDatabase",
     "FaultPlan",
+    "Finding",
     "NaiveEngine",
     "NativeEngine",
     "PPFEngine",
     "PPFTranslator",
     "PathClass",
     "PathIndex",
+    "PlanVerificationError",
+    "PlanVerifier",
     "QueryCancelledError",
     "QueryLimitError",
     "QueryResult",
     "QueryTimeoutError",
+    "Report",
     "ReproError",
     "ResiliencePolicy",
     "ResultCache",
@@ -119,6 +134,7 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SchemaMarking",
+    "Severity",
     "ShreddedStore",
     "StorageError",
     "StoreIntegrityError",
@@ -127,6 +143,7 @@ __all__ = [
     "TranslationResult",
     "UnsupportedXPathError",
     "XMLParseError",
+    "XPathLinter",
     "XPathSyntaxError",
     "evaluate_xpath",
     "figure1_schema",
@@ -137,4 +154,5 @@ __all__ = [
     "parse_xpath",
     "parse_xsd",
     "serialize",
+    "verify_plan",
 ]

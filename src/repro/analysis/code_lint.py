@@ -1,0 +1,284 @@
+"""Project-rule enforcement over the Python sources (the ``CodeLinter``).
+
+An :mod:`ast`-based checker for the three invariants the resilience and
+serving layers rely on but no off-the-shelf linter knows about:
+
+``CA001`` **raw sqlite3 entry points** — ``sqlite3.connect()`` (or any
+    other connection-producing ``sqlite3.*`` call) may appear only in
+    the storage facade and the fault-injection harness; everything else
+    must go through :class:`~repro.storage.database.Database` so query
+    guards, retry and timeouts apply (ERROR).
+``CA002`` **interpolated SQL** — no f-string, ``%``-formatted or
+    ``str.format`` SQL handed to an execute/query method; bind
+    parameters instead.  The storage facade itself (which centralizes
+    the few identifier-quoting sites) is exempt, and a trailing
+    ``# static-ok: sql-interp`` comment suppresses one call site after
+    review (ERROR).
+``CA003`` **mutation without generation bump** — in classes that
+    maintain a store generation (they define ``_bump_generation``),
+    any public instance method that itself executes INSERT/UPDATE/DELETE
+    must also bump the generation, or serving-layer caches go stale.
+    ``# static-ok: generation-bump`` on the ``def`` line suppresses
+    (ERROR).
+
+The linter is wired into the ``analysis`` CI job over ``src/`` and is
+available ad hoc via ``repro lint --code <path>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.report import Report, Severity
+
+_ANALYZER = "code-lint"
+
+#: Files allowed to call ``sqlite3.connect`` directly: the storage
+#: facade, and the fault-injection harness that wraps raw connections
+#: on purpose.
+_RAW_SQLITE_ALLOWED = frozenset({"database.py", "faults.py"})
+
+#: Files exempt from CA002 — the facade quotes identifiers centrally.
+_SQL_INTERP_ALLOWED = frozenset({"database.py"})
+
+#: Methods that accept a SQL string as their first argument.
+_SQL_SINKS = frozenset(
+    {
+        "execute",
+        "executemany",
+        "executescript",
+        "query",
+        "query_one",
+        "guarded_query",
+    }
+)
+
+_DML_PREFIXES = ("INSERT", "UPDATE", "DELETE")
+
+_PRAGMA_SQL = "static-ok: sql-interp"
+_PRAGMA_BUMP = "static-ok: generation-bump"
+
+
+def _pragma_lines(source: str, pragma: str) -> set[int]:
+    """1-based line numbers carrying ``# <pragma>`` comments."""
+    return {
+        number
+        for number, line in enumerate(source.splitlines(), start=1)
+        if "#" in line and pragma in line.split("#", 1)[1]
+    }
+
+
+def _is_interpolated_string(node: ast.expr) -> bool:
+    """f-string with placeholders, ``"..." % ...`` or ``"...".format(...)``."""
+    if isinstance(node, ast.JoinedStr):
+        return any(
+            isinstance(part, ast.FormattedValue) for part in node.values
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        return _is_string_like(node.left)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "format"
+    ):
+        return _is_string_like(node.func.value)
+    return False
+
+
+def _is_string_like(node: ast.expr) -> bool:
+    if isinstance(node, ast.JoinedStr):
+        return True
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _has_decorator(func: ast.FunctionDef, *names: str) -> bool:
+    for decorator in func.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Name) and target.id in names:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr in names:
+            return True
+    return False
+
+
+def _executes_dml(func: ast.FunctionDef) -> bool:
+    """True if the method body itself issues INSERT/UPDATE/DELETE SQL."""
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SQL_SINKS
+        ):
+            continue
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Constant)
+                and isinstance(child.value, str)
+                and child.value.lstrip()[:6].upper().startswith(_DML_PREFIXES)
+            ):
+                return True
+    return False
+
+
+def _calls_bump(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_bump_generation"
+        ):
+            return True
+    return False
+
+
+class CodeLinter:
+    """Checks the project rules over one or more Python source trees."""
+
+    def lint_source(self, source: str, filename: str) -> Report:
+        """Lint one module's source text."""
+        report = Report()
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as exc:
+            report.add(
+                _ANALYZER,
+                "CA000",
+                Severity.ERROR,
+                f"module does not parse: {exc.msg}",
+                f"{filename}:{exc.lineno or 0}",
+            )
+            return report
+        basename = Path(filename).name
+        sql_ok = _pragma_lines(source, _PRAGMA_SQL)
+        bump_ok = _pragma_lines(source, _PRAGMA_BUMP)
+        self._check_raw_sqlite(tree, basename, filename, report)
+        self._check_sql_interpolation(
+            tree, basename, filename, sql_ok, report
+        )
+        self._check_generation_bumps(tree, filename, bump_ok, report)
+        return report
+
+    def lint_file(self, path: Union[str, Path]) -> Report:
+        """Lint one file."""
+        path = Path(path)
+        return self.lint_source(path.read_text(encoding="utf-8"), str(path))
+
+    def lint_paths(self, paths: Iterable[Union[str, Path]]) -> Report:
+        """Lint files and/or directory trees (``**/*.py``)."""
+        report = Report()
+        for entry in paths:
+            entry = Path(entry)
+            files = (
+                sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+            )
+            for file in files:
+                report.extend(self.lint_file(file))
+        return report
+
+    # -- CA001 -------------------------------------------------------------------
+
+    def _check_raw_sqlite(
+        self,
+        tree: ast.AST,
+        basename: str,
+        filename: str,
+        report: Report,
+    ) -> None:
+        if basename in _RAW_SQLITE_ALLOWED:
+            return
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "sqlite3"
+                and node.func.attr in ("connect", "Connection")
+            ):
+                continue
+            report.add(
+                _ANALYZER,
+                "CA001",
+                Severity.ERROR,
+                f"raw sqlite3.{node.func.attr}() outside the storage "
+                "facade bypasses query guards, retry and timeouts",
+                f"{filename}:{node.lineno}",
+                "resilience layer contract",
+            )
+
+    # -- CA002 -------------------------------------------------------------------
+
+    def _check_sql_interpolation(
+        self,
+        tree: ast.AST,
+        basename: str,
+        filename: str,
+        suppressed: set[int],
+        report: Report,
+    ) -> None:
+        if basename in _SQL_INTERP_ALLOWED:
+            return
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SQL_SINKS
+                and node.args
+            ):
+                continue
+            if node.lineno in suppressed:
+                continue
+            if _is_interpolated_string(node.args[0]):
+                report.add(
+                    _ANALYZER,
+                    "CA002",
+                    Severity.ERROR,
+                    f"interpolated SQL passed to .{node.func.attr}(); "
+                    "use bind parameters, or mark a reviewed "
+                    f"identifier-quoting site with `# {_PRAGMA_SQL}`",
+                    f"{filename}:{node.lineno}",
+                    "SQL injection hygiene",
+                )
+
+    # -- CA003 -------------------------------------------------------------------
+
+    def _check_generation_bumps(
+        self,
+        tree: ast.AST,
+        filename: str,
+        suppressed: set[int],
+        report: Report,
+    ) -> None:
+        for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+            methods = [
+                n for n in cls.body if isinstance(n, ast.FunctionDef)
+            ]
+            if not any(m.name == "_bump_generation" for m in methods):
+                continue
+            for method in methods:
+                if method.name.startswith("_"):
+                    continue
+                if _has_decorator(method, "classmethod", "staticmethod"):
+                    # No instance yet — generation state does not exist.
+                    continue
+                if method.lineno in suppressed:
+                    continue
+                if _executes_dml(method) and not _calls_bump(method):
+                    report.add(
+                        _ANALYZER,
+                        "CA003",
+                        Severity.ERROR,
+                        f"{cls.name}.{method.name} mutates the store "
+                        "but never calls _bump_generation(); serving "
+                        "caches keyed on the generation go stale",
+                        f"{filename}:{method.lineno}",
+                        "serving-layer cache invalidation contract",
+                    )
+
+
+def lint_code(paths: Iterable[Union[str, Path]]) -> Report:
+    """One-shot convenience wrapper around :class:`CodeLinter`."""
+    return CodeLinter().lint_paths(paths)

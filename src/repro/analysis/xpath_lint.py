@@ -1,0 +1,321 @@
+"""Pre-translation XPath linting (the ``XPathLinter``).
+
+Where the :class:`~repro.analysis.verifier.PlanVerifier` checks the
+*output* of translation, the linter looks at the query *before* any plan
+is built and predicts its relational cost profile, in the spirit of
+path-summary query analysis:
+
+``XL001`` **syntax error** — the expression does not parse (ERROR).
+``XL002`` **unsupported feature** — an axis, function or shape outside
+    the paper's XPath subset; translation would raise, so reject early
+    (ERROR).
+``XL003`` **heavy fragmentation** — the backbone splits into many PPFs,
+    each boundary costing a structural join (WARNING at ≥ 4 fragments).
+``XL004`` **descendant steps** — ``//`` compiles to a ``(/[^/]+)*``
+    regex over `Paths` (Table 1) and, unless Section 4.5 marking later
+    replaces it with equalities, forces a regex scan (WARNING).
+``XL005`` **path-index-defeating predicates** — predicates on
+    intermediate steps close the current fragment (Definition 4.1 case
+    d), so the holistic path filter degrades into per-fragment filters
+    plus joins (WARNING).
+``XL006`` **positional predicates** — ``position()``/``last()``/numeric
+    predicates translate to correlated sibling-counting sub-queries,
+    the most expensive predicate shape (WARNING).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.report import Report, Severity
+from repro.core.fragments import split_backbone
+from repro.errors import (
+    SchemaError,
+    TranslationError,
+    UnsupportedXPathError,
+    XPathSyntaxError,
+)
+from repro.schema.marking import SchemaMarking
+from repro.xpath import parse_xpath
+from repro.xpath.ast import (
+    AndExpr,
+    ArithmeticExpr,
+    Comparison,
+    FunctionCall,
+    LocationPath,
+    NotExpr,
+    NumberLiteral,
+    OrExpr,
+    PathExpr,
+    Step,
+    UnionExpr,
+    XPathExpr,
+)
+from repro.xpath.axes import Axis
+
+_ANALYZER = "xpath-lint"
+
+#: Functions the planner can translate (everything else raises at
+#: translation time; see :mod:`repro.plan.planner`).
+_SUPPORTED_FUNCTIONS = frozenset(
+    {"contains", "starts-with", "count", "position", "last"}
+)
+
+#: At or above this many PPFs a query is flagged as join-heavy.
+_FRAGMENTATION_THRESHOLD = 4
+
+_DESCENDANT_AXES = frozenset({Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF})
+
+
+def _iter_paths(expr: XPathExpr) -> Iterator[tuple[LocationPath, bool]]:
+    """Every :class:`LocationPath` in ``expr`` with a flag marking
+    whether it is a backbone path (True) or a predicate path (False)."""
+
+    def walk(node: XPathExpr, backbone: bool) -> Iterator[tuple[LocationPath, bool]]:
+        if isinstance(node, LocationPath):
+            yield node, backbone
+            for step in node.steps:
+                for predicate in step.predicates:
+                    yield from walk(predicate, False)
+        elif isinstance(node, UnionExpr):
+            for branch in node.branches:
+                yield from walk(branch, backbone)
+        elif isinstance(node, PathExpr):
+            yield from walk(node.path, backbone)
+        elif isinstance(node, (OrExpr, AndExpr, Comparison, ArithmeticExpr)):
+            yield from walk(node.left, False)
+            yield from walk(node.right, False)
+        elif isinstance(node, NotExpr):
+            yield from walk(node.operand, False)
+        elif isinstance(node, FunctionCall):
+            for arg in node.args:
+                yield from walk(arg, False)
+
+    yield from walk(expr, True)
+
+
+def _iter_function_calls(expr: XPathExpr) -> Iterator[FunctionCall]:
+    if isinstance(expr, FunctionCall):
+        yield expr
+        for arg in expr.args:
+            yield from _iter_function_calls(arg)
+    elif isinstance(expr, (OrExpr, AndExpr, Comparison, ArithmeticExpr)):
+        yield from _iter_function_calls(expr.left)
+        yield from _iter_function_calls(expr.right)
+    elif isinstance(expr, NotExpr):
+        yield from _iter_function_calls(expr.operand)
+    elif isinstance(expr, UnionExpr):
+        for branch in expr.branches:
+            yield from _iter_function_calls(branch)
+    elif isinstance(expr, PathExpr):
+        yield from _iter_function_calls(expr.path)
+    elif isinstance(expr, LocationPath):
+        for step in expr.steps:
+            for predicate in step.predicates:
+                yield from _iter_function_calls(predicate)
+
+
+def _is_positional(predicate: XPathExpr) -> bool:
+    """Numeric, ``position()``- or ``last()``-based predicate."""
+    if isinstance(predicate, NumberLiteral):
+        return True
+    if isinstance(predicate, FunctionCall):
+        return predicate.name in ("position", "last")
+    if isinstance(predicate, Comparison):
+        return _is_positional(predicate.left) or _is_positional(
+            predicate.right
+        )
+    if isinstance(predicate, ArithmeticExpr):
+        return _is_positional(predicate.left) or _is_positional(
+            predicate.right
+        )
+    if isinstance(predicate, (OrExpr, AndExpr)):
+        return _is_positional(predicate.left) or _is_positional(
+            predicate.right
+        )
+    if isinstance(predicate, NotExpr):
+        return _is_positional(predicate.operand)
+    return False
+
+
+class XPathLinter:
+    """Static pre-translation analysis of one XPath expression.
+
+    :param marking: optional Section 4.5 schema marking; when present,
+        descendant-step warnings are suppressed for steps whose target
+        name is U-P/F-P marked (the regex will be rewritten to path
+        equalities, so no regex scan actually happens).
+    """
+
+    def __init__(self, marking: Optional[SchemaMarking] = None):
+        self.marking = marking
+
+    def lint(self, expression: str) -> Report:
+        """Lint one expression, returning the findings."""
+        report = Report()
+        try:
+            ast = parse_xpath(expression)
+        except XPathSyntaxError as exc:
+            report.add(
+                _ANALYZER,
+                "XL001",
+                Severity.ERROR,
+                f"syntax error: {exc}",
+                expression,
+                "Section 1 (XPath subset)",
+            )
+            return report
+        self._check_functions(ast, expression, report)
+        for path, backbone in _iter_paths(ast):
+            self._check_path(path, backbone, expression, report)
+        return report
+
+    # -- XL002: unsupported features ---------------------------------------------
+
+    def _check_functions(
+        self, ast: XPathExpr, expression: str, report: Report
+    ) -> None:
+        seen: set[str] = set()
+        for call in _iter_function_calls(ast):
+            if call.name not in _SUPPORTED_FUNCTIONS and call.name not in seen:
+                seen.add(call.name)
+                report.add(
+                    _ANALYZER,
+                    "XL002",
+                    Severity.ERROR,
+                    f"function {call.name}() has no SQL translation "
+                    "in this engine",
+                    expression,
+                    "Section 1 (XPath subset)",
+                )
+
+    def _check_path(
+        self,
+        path: LocationPath,
+        backbone: bool,
+        expression: str,
+        report: Report,
+    ) -> None:
+        if backbone:
+            # Predicate paths translate through dedicated machinery
+            # (attribute columns, EXISTS sub-plans), so only backbone
+            # paths are held to the PPF-decomposition rules.
+            try:
+                split = split_backbone(path)
+            except (UnsupportedXPathError, TranslationError) as exc:
+                report.add(
+                    _ANALYZER,
+                    "XL002",
+                    Severity.ERROR,
+                    f"unsupported path shape: {exc}",
+                    expression,
+                    "Section 4.1 (PPF definition)",
+                )
+                return
+            self._check_fragmentation(split.ppfs, expression, report)
+        self._check_descendant_steps(path, expression, report)
+        self._check_intermediate_predicates(path, expression, report)
+        self._check_positional_predicates(path, expression, report)
+
+    # -- XL003: fragmentation ----------------------------------------------------
+
+    def _check_fragmentation(
+        self, ppfs: list[object], expression: str, report: Report
+    ) -> None:
+        if len(ppfs) >= _FRAGMENTATION_THRESHOLD:
+            report.add(
+                _ANALYZER,
+                "XL003",
+                Severity.WARNING,
+                f"backbone splits into {len(ppfs)} PPFs — each boundary "
+                "costs a structural join between element relations",
+                expression,
+                "Section 4.1-4.2",
+            )
+
+    # -- XL004: descendant steps -------------------------------------------------
+
+    def _regex_elided(self, step: Step) -> bool:
+        """True when marking proves the descendant step's regex will be
+        replaced by path equalities (Section 4.5)."""
+        if self.marking is None:
+            return False
+        name = getattr(step.node_test, "name", None)
+        if not isinstance(name, str) or name == "*":
+            return False
+        try:
+            return self.marking.root_paths(name) is not None
+        except SchemaError:
+            # A name outside the schema: nothing provable, keep warning.
+            return False
+
+    def _check_descendant_steps(
+        self, path: LocationPath, expression: str, report: Report
+    ) -> None:
+        scans = [
+            step
+            for step in path.steps
+            if step.axis in _DESCENDANT_AXES and not self._regex_elided(step)
+        ]
+        if scans:
+            described = ", ".join(f"//{step.node_test}" for step in scans)
+            report.add(
+                _ANALYZER,
+                "XL004",
+                Severity.WARNING,
+                f"{len(scans)} descendant step(s) ({described}) compile "
+                "to unanchored path regexes — a regex scan over the "
+                "`Paths` relation unless schema marking elides it",
+                expression,
+                "Table 1, Section 4.5",
+            )
+
+    # -- XL005: fragment-closing predicates --------------------------------------
+
+    def _check_intermediate_predicates(
+        self, path: LocationPath, expression: str, report: Report
+    ) -> None:
+        inner = [
+            step for step in path.steps[:-1] if step.predicates
+        ]
+        if inner:
+            described = ", ".join(str(step.node_test) for step in inner)
+            report.add(
+                _ANALYZER,
+                "XL005",
+                Severity.WARNING,
+                f"predicate(s) on intermediate step(s) ({described}) "
+                "close the path fragment, defeating the holistic path "
+                "index filter",
+                expression,
+                "Section 4.1 (Definition, case d)",
+            )
+
+    # -- XL006: positional predicates --------------------------------------------
+
+    def _check_positional_predicates(
+        self, path: LocationPath, expression: str, report: Report
+    ) -> None:
+        count = sum(
+            1
+            for step in path.steps
+            for predicate in step.predicates
+            if _is_positional(predicate)
+        )
+        if count:
+            report.add(
+                _ANALYZER,
+                "XL006",
+                Severity.WARNING,
+                f"{count} positional predicate(s) translate to "
+                "correlated sibling-counting sub-queries",
+                expression,
+                "Section 4.3 (position()/last())",
+            )
+
+
+def lint_xpath(
+    expression: str, marking: Optional[SchemaMarking] = None
+) -> Report:
+    """One-shot convenience wrapper around :class:`XPathLinter`."""
+    return XPathLinter(marking=marking).lint(expression)

@@ -181,10 +181,16 @@ class SQLXPathEngine:
     def __init__(self, store, translator: PPFTranslator,
                  fallback: bool = False,
                  result_cache_size: int | None = 128,
-                 pool: ConnectionPool | None = None):
+                 pool: ConnectionPool | None = None,
+                 verify_plans: bool = False):
         self.store = store
         self.translator = translator
         self.fallback = fallback
+        #: Debug gate: when set, every fresh translation is checked by
+        #: the static plan verifier and an invariant violation raises
+        #: :class:`~repro.errors.PlanVerificationError` instead of
+        #: running bad SQL.
+        self.verify_plans = verify_plans
         self._translation_cache: OrderedDict[str, TranslationResult] = (
             OrderedDict()
         )
@@ -217,7 +223,10 @@ class SQLXPathEngine:
     def translate(self, expression: Union[str, XPathExpr]) -> TranslationResult:
         """Translate without executing (cached for string expressions)."""
         if not isinstance(expression, str):
-            return self.translator.translate(expression)
+            translated = self.translator.translate(expression)
+            if self.verify_plans:
+                self._verify_translation(translated)
+            return translated
         with self._lock:
             cached = self._translation_cache.get(expression)
             if cached is not None:
@@ -229,12 +238,35 @@ class SQLXPathEngine:
         # and two threads translating the same novel expression just
         # produce equal results.
         translated = self.translator.translate(expression)
+        if self.verify_plans:
+            self._verify_translation(translated)
         with self._lock:
             self._translation_cache[expression] = translated
             self._translation_cache.move_to_end(expression)
             while len(self._translation_cache) > self._CACHE_LIMIT:
                 self._translation_cache.popitem(last=False)
         return translated
+
+    def _verify_translation(self, translation: TranslationResult) -> None:
+        """Run the static plan verifier over a fresh translation
+        (``verify_plans=True`` engines only); raise on any violation."""
+        # Imported lazily: repro.analysis imports the plan and core
+        # layers, so a module-level import would cycle.
+        from repro.analysis.verifier import PlanVerifier
+        from repro.errors import PlanVerificationError
+
+        marking = getattr(self.translator.adapter, "marking", None)
+        report = PlanVerifier(marking=marking).verify(
+            translation.plan,
+            translation.pass_reports,
+            subject=translation.expression,
+        )
+        if not report.ok:
+            raise PlanVerificationError(
+                "translated plan violates static invariants:\n"
+                + report.render_text(),
+                report=report,
+            )
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters of the translation cache."""
@@ -527,6 +559,9 @@ class PPFEngine(SQLXPathEngine):
         ``path_filter_optimization``.
     :param dialect: SQL dialect to lower plans through (default:
         SQLite).
+    :param verify_plans: debug gate — statically verify every fresh
+        translation and raise
+        :class:`~repro.errors.PlanVerificationError` on violations.
     """
 
     def __init__(
@@ -539,6 +574,7 @@ class PPFEngine(SQLXPathEngine):
         pool: ConnectionPool | None = None,
         passes: "Optional[tuple[str, ...] | list[str]]" = None,
         dialect: Optional[AnsiDialect] = None,
+        verify_plans: bool = False,
     ):
         adapter = SchemaAwareAdapter(
             store, path_filter_optimization=path_filter_optimization
@@ -554,6 +590,7 @@ class PPFEngine(SQLXPathEngine):
             fallback=fallback,
             result_cache_size=result_cache_size,
             pool=pool,
+            verify_plans=verify_plans,
         )
 
 
@@ -570,6 +607,7 @@ class EdgePPFEngine(SQLXPathEngine):
         pool: ConnectionPool | None = None,
         passes: "Optional[tuple[str, ...] | list[str]]" = None,
         dialect: Optional[AnsiDialect] = None,
+        verify_plans: bool = False,
     ):
         adapter = EdgeAdapter(store)
         super().__init__(
@@ -583,4 +621,5 @@ class EdgePPFEngine(SQLXPathEngine):
             fallback=fallback,
             result_cache_size=result_cache_size,
             pool=pool,
+            verify_plans=verify_plans,
         )

@@ -37,6 +37,7 @@ from repro.plan.nodes import (
 from repro.plan.passes import (
     DEFAULT_PASS_NAMES,
     PASSES,
+    EliminationWitness,
     PassContext,
     PassPipeline,
     PassReport,
@@ -51,6 +52,7 @@ __all__ = [
     "AndCond",
     "DEFAULT_PASS_NAMES",
     "DocEqCond",
+    "EliminationWitness",
     "ExistsCond",
     "FalseCond",
     "LevelCond",

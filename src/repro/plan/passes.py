@@ -95,6 +95,28 @@ class PassContext:
     marking: Optional[SchemaMarking] = None
 
 
+@dataclass(frozen=True)
+class EliminationWitness:
+    """The marking evidence justifying one Section 4.5 rewrite.
+
+    Every ``paths-join-elimination`` decision records one witness so the
+    static verifier (:mod:`repro.analysis`) can re-derive the claim:
+    ``kind`` is ``"redundant"`` (all candidate root paths provably
+    satisfy the filter, so it was dropped) or ``"unsatisfiable"`` (no
+    candidate can satisfy it, so the branch was killed); ``classes``
+    maps each candidate name to its U-P / F-P / I-P tag and
+    ``matched_paths`` lists the enumerated root paths that matched.
+    """
+
+    kind: str  #: ``redundant`` or ``unsatisfiable``
+    alias: str
+    paths_alias: str
+    pattern: "tuple[object, ...]"  #: the filter's PatternStep sequence
+    anchored: bool
+    classes: tuple[tuple[str, str], ...]  #: (name, path-class value)
+    matched_paths: tuple[str, ...]
+
+
 @dataclass
 class PassReport:
     """What one pass did to one plan."""
@@ -103,6 +125,9 @@ class PassReport:
     fired: bool  #: whether the pass changed the plan at all
     changes: int  #: number of individual rewrites applied
     detail: str  #: human-readable one-liner for ``explain``
+    #: One :class:`EliminationWitness` per Section 4.5 rewrite (only the
+    #: ``paths-join-elimination`` pass records these).
+    witnesses: tuple[EliminationWitness, ...] = ()
 
     def summary(self) -> str:
         """``name: detail`` line for CLI output."""
@@ -252,6 +277,23 @@ def _pass_paths_join_elimination(
         return PassReport(name, False, 0, "no schema marking available")
     removed = 0
     emptied = 0
+    witnesses: list[EliminationWitness] = []
+
+    def witness(
+        kind: str, cond: PathFilterCond, matched: set[str]
+    ) -> EliminationWitness:
+        assert cond.names is not None and marking is not None
+        return EliminationWitness(
+            kind=kind,
+            alias=cond.alias,
+            paths_alias=cond.paths_alias,
+            pattern=tuple(cond.pattern),
+            anchored=cond.anchored,
+            classes=tuple(
+                (n, marking.classify(n).value) for n in sorted(cond.names)
+            ),
+            matched_paths=tuple(sorted(matched)),
+        )
 
     def decide(cond: PlanCond) -> PlanCond:
         nonlocal removed, emptied
@@ -259,12 +301,14 @@ def _pass_paths_join_elimination(
             return cond
         if cond.names is None:
             return cond
-        any_match, needed, _ = _filter_analysis(cond, marking)
+        any_match, needed, matched = _filter_analysis(cond, marking)
         if not any_match:
             emptied += 1
+            witnesses.append(witness("unsatisfiable", cond, matched))
             return FalseCond()
         if not needed:
             removed += 1
+            witnesses.append(witness("redundant", cond, matched))
             return TrueCond()
         return cond
 
@@ -278,7 +322,9 @@ def _pass_paths_join_elimination(
         if changes
         else "every Paths filter is load-bearing"
     )
-    return PassReport(name, changes > 0, changes, detail)
+    return PassReport(
+        name, changes > 0, changes, detail, witnesses=tuple(witnesses)
+    )
 
 
 def _remove_orphan_paths(plan: QueryPlan) -> int:
@@ -291,7 +337,11 @@ def _remove_orphan_paths(plan: QueryPlan) -> int:
             if isinstance(cond, PathFilterCond)
         }
 
-        def unlink(cond: PlanCond) -> PlanCond:
+        def unlink(
+            cond: PlanCond, referenced: set[str] = referenced
+        ) -> PlanCond:
+            # Default-arg binding: the closure must capture THIS
+            # iteration's reference set, not the loop variable (B023).
             if (
                 isinstance(cond, PathsLinkCond)
                 and cond.paths_alias not in referenced

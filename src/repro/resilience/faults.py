@@ -150,12 +150,14 @@ class FaultInjectingDatabase(Database):
             return
         if fault.kind == "delay":
             time.sleep(fault.seconds)
-        elif fault.kind == "busy":
+            return
+        if fault.kind == "busy":
             raise sqlite3.OperationalError("database is locked")
-        elif fault.kind == "error":
+        if fault.kind == "error":
             raise sqlite3.OperationalError(fault.message)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown fault kind {fault.kind!r}")
+        raise ValueError(  # pragma: no cover - defensive
+            f"unknown fault kind {fault.kind!r}"
+        )
 
     def _raw_execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
         self._maybe_inject(sql)

@@ -57,7 +57,7 @@ def check_document_load(
 
     total = 0
     for table in tables:
-        row = db.query_one(
+        row = db.query_one(  # static-ok: sql-interp
             f"SELECT COUNT(*) FROM {table} WHERE doc_id = ?", (doc_id,)
         )
         total += int(row[0])
@@ -71,7 +71,7 @@ def check_document_load(
         )
 
     for table in tables:
-        orphans = db.query_one(
+        orphans = db.query_one(  # static-ok: sql-interp
             f"SELECT COUNT(*) FROM {table} WHERE doc_id = ? "
             f"AND par_id IS NOT NULL AND par_id NOT IN ({ids_union})",
             (doc_id, *doc_params),
@@ -84,7 +84,7 @@ def check_document_load(
                     f"{orphans[0]} row(s) reference a missing parent",
                 )
             )
-        dangling = db.query_one(
+        dangling = db.query_one(  # static-ok: sql-interp
             f"SELECT COUNT(*) FROM {table} WHERE doc_id = ? "
             f"AND path_id NOT IN (SELECT id FROM paths)",
             (doc_id,),
@@ -105,7 +105,7 @@ def check_document_load(
     for table in tables:
         pairs.extend(
             (int(row_id), bytes(dewey))
-            for row_id, dewey in db.query(
+            for row_id, dewey in db.query(  # static-ok: sql-interp
                 f"SELECT id, dewey_pos FROM {table} "
                 f"WHERE doc_id = ? AND id >= ? AND id < ?",
                 (doc_id, base, base + count),
@@ -133,7 +133,7 @@ def check_referential_integrity(db, tables: Sequence[str]) -> list[IntegrityIssu
     issues: list[IntegrityIssue] = []
     ids_union = " UNION ALL ".join(f"SELECT id FROM {t}" for t in tables)
     for table in tables:
-        orphans = db.query_one(
+        orphans = db.query_one(  # static-ok: sql-interp
             f"SELECT COUNT(*) FROM {table} "
             f"WHERE par_id IS NOT NULL AND par_id NOT IN ({ids_union})"
         )
@@ -145,7 +145,7 @@ def check_referential_integrity(db, tables: Sequence[str]) -> list[IntegrityIssu
                     f"{orphans[0]} row(s) reference a missing parent",
                 )
             )
-        dangling = db.query_one(
+        dangling = db.query_one(  # static-ok: sql-interp
             f"SELECT COUNT(*) FROM {table} "
             f"WHERE path_id NOT IN (SELECT id FROM paths)"
         )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from functools import lru_cache
+from typing import Iterator
 
 from repro.errors import SchemaError
 from repro.schema.model import Schema
@@ -82,7 +83,7 @@ class SchemaMarking:
         for start in vertices:
             if color[start] != WHITE:
                 continue
-            stack: list[tuple[str, iter]] = [
+            stack: list[tuple[str, Iterator[str]]] = [
                 (start, iter(sorted(self.schema[start].children & vertices)))
             ]
             color[start] = GRAY

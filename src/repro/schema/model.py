@@ -13,9 +13,12 @@ backward fragments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.xmltree.nodes import Document
 
 #: Value kinds a text node or attribute may map to.
 VALUE_KINDS = ("string", "number")
@@ -131,7 +134,9 @@ class Schema:
         """All element names reachable by one or more upward edges."""
         return self._closure(names, lambda n: self[n].parents)
 
-    def _closure(self, names: Iterable[str], succ) -> set[str]:
+    def _closure(
+        self, names: Iterable[str], succ: Callable[[str], Iterable[str]]
+    ) -> set[str]:
         seen: set[str] = set()
         frontier = list(names)
         while frontier:
@@ -169,7 +174,7 @@ class Schema:
                 f"declarations unreachable from roots: {sorted(unreachable)}"
             )
 
-    def conforms(self, document) -> bool:
+    def conforms(self, document: Document) -> bool:
         """True if every element of ``document`` fits this schema's graph
         (names, nesting, root)."""
         root = document.root

@@ -24,7 +24,7 @@ of scope.
 from __future__ import annotations
 
 from repro.errors import SchemaError
-from repro.schema.model import Schema
+from repro.schema.model import ElementDecl, Schema
 from repro.xmltree.nodes import ElementNode
 from repro.xmltree.parser import parse_document
 
@@ -167,9 +167,7 @@ class _XSDReader:
                 self._apply_attribute(decl, child)
             elif kind == "simpleContent":
                 self._apply_simple_content(decl, child)
-            elif kind in ("annotation",):
-                continue
-            else:
+            elif kind != "annotation":
                 raise SchemaError(
                     f"unsupported construct xs:{kind} in type of "
                     f"{element_name!r}"
@@ -185,21 +183,21 @@ class _XSDReader:
                 self.schema.add_edge(element_name, child_name)
             elif kind in ("sequence", "choice", "all"):
                 self._apply_particle(element_name, child)
-            elif kind in ("annotation", "any"):
-                continue
-            else:
+            elif kind not in ("annotation", "any"):
                 raise SchemaError(
                     f"unsupported particle xs:{kind} under "
                     f"{element_name!r}"
                 )
 
-    def _apply_attribute(self, decl, node: ElementNode) -> None:
+    def _apply_attribute(self, decl: ElementDecl, node: ElementNode) -> None:
         name = node.get("name")
         if not name:
             raise SchemaError("xs:attribute without a name")
         decl.add_attribute(name, _value_kind(node.get("type")))
 
-    def _apply_simple_content(self, decl, node: ElementNode) -> None:
+    def _apply_simple_content(
+        self, decl: ElementDecl, node: ElementNode
+    ) -> None:
         extension = _first_child(node, "extension")
         base = extension.get("base") if extension is not None else None
         decl.text_kind = _value_kind(base)

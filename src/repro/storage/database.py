@@ -239,10 +239,12 @@ class Database:
     def _raw_execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
         return self.connection.execute(sql, params)
 
-    def _raw_executemany(self, sql: str, rows: Iterable[Sequence]):
+    def _raw_executemany(
+        self, sql: str, rows: Iterable[Sequence]
+    ) -> sqlite3.Cursor:
         return self.connection.executemany(sql, rows)
 
-    def _raw_executescript(self, script: str):
+    def _raw_executescript(self, script: str) -> sqlite3.Cursor:
         return self.connection.executescript(script)
 
     # -- statement execution ------------------------------------------------------
@@ -455,5 +457,5 @@ class Database:
     def __enter__(self) -> "Database":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -12,6 +12,8 @@ compares against.
 from __future__ import annotations
 
 from repro.dewey import encode
+from typing import Sequence
+
 from repro.errors import StoreIntegrityError
 from repro.resilience.integrity import (
     IntegrityIssue,
@@ -150,7 +152,9 @@ class EdgeStore:
         self._bump_generation()
         return doc_id
 
-    def bulk_load(self, documents, chunk_rows: int | None = None) -> list[int]:
+    def bulk_load(
+        self, documents: Sequence[Document], chunk_rows: int | None = None
+    ) -> list[int]:
         """Load many documents through the fast path (see
         :meth:`ShreddedStore.bulk_load`): secondary indexes dropped and
         rebuilt once, chunked ``executemany`` batches, batched `Paths`
@@ -172,7 +176,7 @@ class EdgeStore:
             try:
                 with self.db.savepoint("repro_bulk_load"):
                     for name in _EDGE_INDEX_DDL:
-                        self.db.execute(f"DROP INDEX IF EXISTS {name}")
+                        self.db.execute(f"DROP INDEX IF EXISTS {name}")  # static-ok: sql-interp
                     for document in documents:
                         self.path_index.ensure_many(
                             document.distinct_paths()

@@ -1,0 +1,106 @@
+"""CLI exit-code contract for `repro lint` / `repro verify-plans`:
+0 clean, 1 findings, 2 usage error."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+XML = "<shop><item sku='a'><price>5</price></item></shop>"
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    xml_file = tmp_path / "doc.xml"
+    xml_file.write_text(XML)
+    database = str(tmp_path / "store.db")
+    assert main(["shred", database, str(xml_file)]) == 0
+    return database
+
+
+class TestLintExitCodes:
+    def test_clean_query_exits_zero(self, capsys):
+        assert main(["lint", "/shop/item/price"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, capsys):
+        assert main(["lint", "/a/b["]) == 1
+        assert "XL001" in capsys.readouterr().out
+
+    def test_warning_exits_zero_by_default(self, capsys):
+        assert main(["lint", "//item"]) == 0
+        assert "XL004" in capsys.readouterr().out
+
+    def test_fail_on_warn_promotes_warnings(self, capsys):
+        assert main(["lint", "//item", "--fail-on-warn"]) == 1
+
+    def test_no_input_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_code_lint_over_clean_tree(self, tmp_path, capsys):
+        module = tmp_path / "ok.py"
+        module.write_text("x = 1\n")
+        assert main(["lint", "--code", str(module)]) == 0
+
+    def test_code_lint_finds_violation(self, tmp_path, capsys):
+        module = tmp_path / "bad.py"
+        module.write_text(
+            "def f(db, t):\n    db.execute(f'DELETE FROM {t}')\n"
+        )
+        assert main(["lint", "--code", str(module)]) == 1
+        assert "CA002" in capsys.readouterr().out
+
+    def test_db_marking_suppresses_descendant_warning(
+        self, db_path, capsys
+    ):
+        assert main(["lint", "//price", "--db", db_path]) == 0
+        assert "XL004" not in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "findings.json"
+        assert main(["lint", "/a/b[", "--output", str(out)]) == 1
+        payload = json.loads(out.read_text())
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["code"] == "XL001"
+
+
+class TestVerifyPlansExitCodes:
+    def test_no_input_is_usage_error(self, capsys):
+        assert main(["verify-plans"]) == 2
+        assert "nothing to verify" in capsys.readouterr().err
+
+    def test_adhoc_without_db_is_usage_error(self, capsys):
+        assert main(["verify-plans", "/a/b"]) == 2
+        assert "--db" in capsys.readouterr().err
+
+    def test_adhoc_queries_verify_clean(self, db_path, capsys):
+        assert (
+            main(["verify-plans", "/shop/item", "//price", "--db", db_path])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verified 2 plan(s)" in out
+        assert "0 error(s)" in out
+
+    def test_untranslatable_query_is_runtime_error(self, db_path, capsys):
+        # ReproError paths exit 1 (translation failed, not a usage bug).
+        assert main(["verify-plans", "//a[sum(b)]", "--db", db_path]) == 1
+
+    def test_json_output(self, db_path, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            ["verify-plans", "/shop", "--db", db_path, "--output", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["verified"] == 1
+        assert payload["errors"] == 0
+
+    @pytest.mark.bench_smoke
+    def test_workload_sweep_exits_zero(self, capsys):
+        assert main(["verify-plans", "--workloads"]) == 0
+        captured = capsys.readouterr()
+        assert "swept 480 workload plan(s)" in captured.err
+        assert "0 error(s)" in captured.out

@@ -1,0 +1,185 @@
+"""CodeLinter: the ast-based project rules, and their pragmas."""
+
+import textwrap
+
+from repro.analysis import CodeLinter, lint_code
+
+
+def lint_text(source, filename="example.py"):
+    return CodeLinter().lint_source(textwrap.dedent(source), filename)
+
+
+def codes(report):
+    return sorted({finding.code for finding in report})
+
+
+class TestRawSqlite:
+    def test_raw_connect_flagged(self):
+        report = lint_text(
+            """
+            import sqlite3
+            conn = sqlite3.connect("store.db")
+            """
+        )
+        assert codes(report) == ["CA001"]
+
+    def test_facade_file_is_exempt(self):
+        report = lint_text(
+            """
+            import sqlite3
+            conn = sqlite3.connect("store.db")
+            """,
+            filename="src/repro/storage/database.py",
+        )
+        assert report.ok
+
+    def test_fault_injection_is_exempt(self):
+        report = lint_text(
+            "import sqlite3\nc = sqlite3.connect(':memory:')\n",
+            filename="src/repro/resilience/faults.py",
+        )
+        assert report.ok
+
+    def test_error_types_are_fine(self):
+        report = lint_text(
+            """
+            import sqlite3
+            try:
+                pass
+            except sqlite3.OperationalError:
+                pass
+            """
+        )
+        assert report.ok
+
+
+class TestSqlInterpolation:
+    def test_fstring_sql_flagged(self):
+        report = lint_text(
+            """
+            def f(db, table):
+                db.execute(f"SELECT * FROM {table}")
+            """
+        )
+        assert codes(report) == ["CA002"]
+
+    def test_percent_format_flagged(self):
+        report = lint_text(
+            """
+            def f(db, table):
+                db.query("SELECT * FROM %s" % table)
+            """
+        )
+        assert codes(report) == ["CA002"]
+
+    def test_str_format_flagged(self):
+        report = lint_text(
+            """
+            def f(db, table):
+                db.query_one("SELECT * FROM {}".format(table))
+            """
+        )
+        assert codes(report) == ["CA002"]
+
+    def test_bind_parameters_are_fine(self):
+        report = lint_text(
+            """
+            def f(db, value):
+                db.execute("SELECT * FROM t WHERE x = ?", (value,))
+            """
+        )
+        assert report.ok
+
+    def test_plain_fstring_without_placeholder_is_fine(self):
+        report = lint_text(
+            """
+            def f(db):
+                db.execute(f"SELECT 1")
+            """
+        )
+        assert report.ok
+
+    def test_pragma_suppresses(self):
+        report = lint_text(
+            """
+            def f(db, table):
+                db.execute(f"SELECT * FROM {table}")  # static-ok: sql-interp
+            """
+        )
+        assert report.ok
+
+
+class TestGenerationBump:
+    STORE_TEMPLATE = """
+        class Store:
+            def _bump_generation(self):
+                self.generation += 1
+
+            def delete_row(self, row_id):{pragma}
+                self.db.execute("DELETE FROM t WHERE id = ?", (row_id,))
+                {bump}
+
+            @classmethod
+            def create(cls, db):
+                db.execute("INSERT INTO meta VALUES (1)")
+                return cls()
+    """
+
+    def test_mutation_without_bump_flagged(self):
+        report = lint_text(
+            self.STORE_TEMPLATE.format(pragma="", bump="pass")
+        )
+        assert codes(report) == ["CA003"]
+        assert "delete_row" in report.findings[0].message
+
+    def test_mutation_with_bump_is_fine(self):
+        report = lint_text(
+            self.STORE_TEMPLATE.format(
+                pragma="", bump="self._bump_generation()"
+            )
+        )
+        assert report.ok
+
+    def test_pragma_suppresses(self):
+        report = lint_text(
+            self.STORE_TEMPLATE.format(
+                pragma="  # static-ok: generation-bump", bump="pass"
+            )
+        )
+        assert report.ok
+
+    def test_classes_without_generations_are_ignored(self):
+        report = lint_text(
+            """
+            class Plain:
+                def delete_row(self, db, row_id):
+                    db.execute("DELETE FROM t WHERE id = ?", (row_id,))
+            """
+        )
+        assert report.ok
+
+    def test_select_only_methods_are_fine(self):
+        report = lint_text(
+            """
+            class Store:
+                def _bump_generation(self):
+                    pass
+
+                def count(self):
+                    return self.db.query_one("SELECT COUNT(*) FROM t")
+            """
+        )
+        assert report.ok
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_has_no_findings(self):
+        report = lint_code(["src"])
+        assert report.ok, report.render_text()
+        assert len(report) == 0
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = lint_code([bad])
+        assert codes(report) == ["CA000"]

@@ -1,0 +1,38 @@
+"""Acceptance sweep: every workload query translates to a clean plan
+under every one of the 2^n optimizer-pass combinations."""
+
+from repro.analysis import pass_combinations, verify_workloads
+from repro.analysis.sweep import lint_workloads, sweep_workloads
+from repro.plan.passes import DEFAULT_PASS_NAMES
+
+
+class TestPassCombinations:
+    def test_counts_all_subsets(self):
+        combos = pass_combinations()
+        assert len(combos) == 2 ** len(DEFAULT_PASS_NAMES)
+        assert () in combos
+        assert tuple(DEFAULT_PASS_NAMES) in combos
+
+    def test_subsets_preserve_pipeline_order(self):
+        order = {name: i for i, name in enumerate(DEFAULT_PASS_NAMES)}
+        for combo in pass_combinations():
+            assert list(combo) == sorted(combo, key=order.__getitem__)
+
+
+class TestWorkloadSweep:
+    def test_all_plans_verify_clean(self):
+        report, verified, skipped = verify_workloads()
+        assert report.ok, report.render_text()
+        assert len(report) == 0
+        # Every workload query must actually translate (nothing in the
+        # benchmark set is outside the supported subset).
+        assert skipped == 0
+        queries = sum(
+            len(qs) for _, _, qs in sweep_workloads()
+        )
+        assert verified == queries * len(pass_combinations())
+
+    def test_workload_queries_lint_without_errors(self):
+        report, linted = lint_workloads()
+        assert linted > 0
+        assert report.ok, report.render_text()

@@ -1,0 +1,234 @@
+"""PlanVerifier: clean over real translations, and every seeded bug
+(hand-broken plan) produces exactly the expected finding."""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro import Database, ShreddedStore, infer_schema
+from repro.analysis import PlanVerifier, Severity, verify_plan
+from repro.core.adapters import SchemaAwareAdapter
+from repro.core.translator import PPFTranslator
+from repro.plan.nodes import AndCond, RawCond, Scan, TrueCond
+from repro.plan.passes import PassReport
+from repro.workloads import XMarkConfig, generate_xmark
+
+
+@pytest.fixture(scope="module")
+def adapter():
+    document = generate_xmark(XMarkConfig(scale=0.05, seed=3))
+    store = ShreddedStore.create(Database.memory(), infer_schema([document]))
+    store.load(document)
+    return SchemaAwareAdapter(store)
+
+
+@pytest.fixture(scope="module")
+def translator(adapter):
+    return PPFTranslator(adapter)
+
+
+@pytest.fixture(scope="module")
+def verifier(adapter):
+    return PlanVerifier(marking=adapter.marking)
+
+
+@pytest.fixture()
+def translated(translator):
+    return translator.translate("/site/regions//item[@id]/name")
+
+
+class TestCleanPlans:
+    def test_real_translation_is_clean(self, translated, verifier):
+        report = verifier.verify(translated.plan, translated.pass_reports)
+        assert report.ok
+        assert len(report) == 0
+
+    def test_value_projection_is_clean(self, translator, verifier):
+        translation = translator.translate("//person/name/text()")
+        report = verifier.verify(translation.plan, translation.pass_reports)
+        assert report.ok
+
+    def test_union_is_clean(self, translator, verifier):
+        translation = translator.translate("//bidder | //seller")
+        report = verifier.verify(translation.plan, translation.pass_reports)
+        assert report.ok
+
+    def test_one_shot_wrapper(self, translated, adapter):
+        report = verify_plan(
+            translated.plan,
+            translated.pass_reports,
+            marking=adapter.marking,
+        )
+        assert report.ok
+
+
+class TestSeededBugs:
+    def test_unbound_alias_caught(self, translated, verifier):
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        select.scans[0] = dataclasses.replace(
+            select.scans[0], alias="zz_renamed"
+        )
+        report = verifier.verify(plan)
+        assert not report.ok
+        assert report.by_code("PV001")
+        assert all(f.severity is Severity.ERROR for f in report.errors)
+
+    def test_disconnected_join_caught(self, translated, verifier):
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        assert len(select.scans) >= 2
+        select.where = AndCond([TrueCond()])
+        report = verifier.verify(plan)
+        codes = {finding.code for finding in report.errors}
+        assert "PV002" in codes
+
+    def test_unjustified_elimination_caught(self, translated, verifier):
+        fake = PassReport(
+            "paths-join-elimination", True, 1, "seeded", witnesses=()
+        )
+        report = verifier.verify(translated.plan, (fake,))
+        assert [f.code for f in report.errors] == ["PV004"]
+
+    def test_elimination_without_marking_caught(self, translated):
+        unmarked = PlanVerifier(marking=None)
+        fake = PassReport(
+            "paths-join-elimination", True, 1, "seeded", witnesses=()
+        )
+        report = unmarked.verify(translated.plan, (fake,))
+        assert [f.code for f in report.errors] == ["PV004"]
+
+    def test_tampered_witness_class_caught(self, translator, verifier):
+        translation = translator.translate("/site/regions")
+        fired = [
+            r
+            for r in translation.pass_reports
+            if r.name == "paths-join-elimination" and r.fired
+        ]
+        assert fired and fired[0].witnesses
+        witness = fired[0].witnesses[0]
+        tampered = dataclasses.replace(
+            witness,
+            classes=tuple((name, "I-P") for name, _ in witness.classes),
+        )
+        bad_report = dataclasses.replace(
+            fired[0], witnesses=(tampered,) + fired[0].witnesses[1:]
+        )
+        report = verifier.verify(translation.plan, (bad_report,))
+        assert report.by_code("PV004")
+
+    def test_genuine_witnesses_pass(self, translator, verifier):
+        translation = translator.translate("/site/regions")
+        assert any(
+            r.fired and r.name == "paths-join-elimination"
+            for r in translation.pass_reports
+        )
+        report = verifier.verify(translation.plan, translation.pass_reports)
+        assert report.ok
+
+    def test_missing_order_by_caught(self, translated, verifier):
+        plan = copy.deepcopy(translated.plan)
+        plan.root.order_by = []
+        report = verifier.verify(plan)
+        assert report.by_code("PV006")
+
+    def test_pruned_distinct_caught(self, translator, verifier):
+        # The ancestor join fans out (many keywords share a listitem),
+        # so DISTINCT is load-bearing on this plan.
+        translation = translator.translate("//keyword/ancestor::listitem")
+        plan = copy.deepcopy(translation.plan)
+        root = plan.root
+        assert root.distinct
+        report = verifier.verify(plan)
+        assert report.ok  # with DISTINCT intact the plan is fine
+        root.distinct = False
+        report = verifier.verify(plan)
+        assert report.by_code("PV006")
+
+    def test_unknown_axis_caught(self, translated, verifier):
+        from repro.plan.nodes import StructuralCond
+
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        aliases = [scan.alias for scan in select.scans[:2]]
+        select.where = AndCond(
+            [
+                select.where,
+                StructuralCond("sideways", aliases[0], aliases[1]),
+            ]
+        )
+        report = verifier.verify(plan)
+        assert report.by_code("PV003")
+
+    def test_paths_scan_in_dewey_comparison_caught(self, translated, verifier):
+        from repro.plan.nodes import StructuralCond
+
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        paths_aliases = [s.alias for s in select.scans if s.is_paths]
+        element_aliases = [s.alias for s in select.scans if not s.is_paths]
+        assert paths_aliases and element_aliases
+        select.where = AndCond(
+            [
+                select.where,
+                StructuralCond(
+                    "descendant", element_aliases[0], paths_aliases[0]
+                ),
+            ]
+        )
+        report = verifier.verify(plan)
+        assert report.by_code("PV003")
+
+    def test_paths_column_misuse_caught(self, translated, verifier):
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        paths_alias = next(s.alias for s in select.scans if s.is_paths)
+        select.where = AndCond(
+            [select.where, RawCond(f"{paths_alias}.dewey_pos IS NOT NULL")]
+        )
+        report = verifier.verify(plan)
+        assert report.by_code("PV003")
+
+    def test_unanchored_pattern_caught(self, translated, verifier):
+        from repro.plan.nodes import PathFilterCond, iter_conditions
+
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        filters = [
+            c
+            for c in iter_conditions(select.where)
+            if isinstance(c, PathFilterCond)
+        ]
+        assert filters
+        broken = dataclasses.replace(filters[0], pattern=())
+
+        from repro.plan.nodes import rewrite_condition
+
+        select.where = rewrite_condition(
+            select.where, lambda c: broken if c is filters[0] else c
+        )
+        report = verifier.verify(plan)
+        assert report.by_code("PV005")
+
+    def test_duplicate_alias_caught(self, translated, verifier):
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        select.scans.append(
+            Scan(select.scans[0].table, select.scans[0].alias)
+        )
+        report = verifier.verify(plan)
+        assert report.by_code("PV001")
+
+    def test_wrong_projection_arity_caught(self, translated, verifier):
+        plan = copy.deepcopy(translated.plan)
+        select = plan.branches()[0]
+        select.columns = select.columns[:2]
+        report = verifier.verify(plan)
+        assert report.by_code("PV007")
+
+    def test_findings_carry_citations(self, translated, verifier):
+        plan = copy.deepcopy(translated.plan)
+        plan.root.order_by = []
+        report = verifier.verify(plan)
+        assert all(f.citation for f in report.findings)

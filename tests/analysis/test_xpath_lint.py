@@ -1,0 +1,102 @@
+"""XPathLinter: pre-translation query diagnostics."""
+
+import pytest
+
+from repro import Database, ShreddedStore, infer_schema, parse_document
+from repro.analysis import Severity, XPathLinter, lint_xpath
+from repro.core.adapters import SchemaAwareAdapter
+
+
+def codes(report):
+    return sorted({finding.code for finding in report})
+
+
+class TestSyntaxAndSupport:
+    def test_clean_query_has_no_findings(self):
+        assert len(lint_xpath("/a/b/c")) == 0
+
+    def test_syntax_error_is_xl001(self):
+        report = lint_xpath("/a/b[")
+        assert codes(report) == ["XL001"]
+        assert not report.ok
+
+    def test_unknown_function_is_error(self):
+        report = lint_xpath("/a[sum(b)]")
+        assert not report.ok
+
+    def test_supported_functions_are_clean(self):
+        report = lint_xpath("/a/b[contains(c, 'x')][count(d) > 1]")
+        assert report.ok
+
+
+class TestCostWarnings:
+    def test_descendant_step_is_xl004(self):
+        report = lint_xpath("//a/b")
+        assert "XL004" in codes(report)
+        assert report.ok  # warning, not error
+
+    def test_fragmentation_is_xl003(self):
+        # Fragment-closing predicates split the backbone into 4 PPFs
+        # (consecutive // steps alone fuse into ONE forward PPF).
+        report = lint_xpath("/a/b[x]/c[y]/d[z]/e")
+        assert "XL003" in codes(report)
+
+    def test_descendant_steps_fuse_into_one_ppf(self):
+        report = lint_xpath("//a//b//c//d")
+        assert "XL003" not in codes(report)
+
+    def test_intermediate_predicate_is_xl005(self):
+        report = lint_xpath("/a/b[c]/d")
+        assert codes(report) == ["XL005"]
+
+    def test_final_step_predicate_is_not_xl005(self):
+        report = lint_xpath("/a/b/d[c]")
+        assert "XL005" not in codes(report)
+
+    def test_positional_predicate_is_xl006(self):
+        assert "XL006" in codes(lint_xpath("/a/b[2]"))
+        assert "XL006" in codes(lint_xpath("/a/b[position()=1]"))
+        assert "XL006" in codes(lint_xpath("/a/b[last()]"))
+
+    def test_predicate_paths_are_linted_too(self):
+        report = lint_xpath("/a/b[x[y]/z]")
+        assert "XL005" in codes(report)
+
+
+class TestMarkingAwareness:
+    @pytest.fixture(scope="class")
+    def marking(self):
+        xml = "<a><b><c>1</c></b><b><c>2</c></b></a>"
+        document = parse_document(xml, name="t")
+        store = ShreddedStore.create(
+            Database.memory(), infer_schema([document])
+        )
+        store.load(document)
+        return SchemaAwareAdapter(store).marking
+
+    def test_marking_elides_descendant_warning(self, marking):
+        # `c` is finitely marked: Section 4.5 turns the `//c` regex into
+        # path equalities, so no regex scan survives to warn about.
+        plain = XPathLinter().lint("//c")
+        informed = XPathLinter(marking=marking).lint("//c")
+        assert "XL004" in codes(plain)
+        assert "XL004" not in codes(informed)
+
+    def test_unknown_names_still_warn(self, marking):
+        report = XPathLinter(marking=marking).lint("//nosuchname")
+        assert "XL004" in codes(report)
+
+
+class TestReportModel:
+    def test_warnings_vs_errors(self):
+        report = lint_xpath("//a/b[2]")
+        assert report.ok
+        assert all(
+            finding.severity is Severity.WARNING for finding in report
+        )
+
+    def test_findings_carry_subject_and_citation(self):
+        report = lint_xpath("//a")
+        for finding in report:
+            assert finding.subject == "//a"
+            assert finding.citation
