@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from repro.errors import (
+    AdmissionRejectedError,
     DeweyError,
     PlanVerificationError,
     QueryCancelledError,
@@ -32,10 +33,13 @@ from repro.errors import (
     ReproError,
     RetryExhaustedError,
     SchemaError,
+    ShardError,
+    ShardUnavailableError,
     StorageError,
     StoreIntegrityError,
     TranslationError,
     UnsupportedXPathError,
+    WorkerCrashedError,
     XMLParseError,
     XPathSyntaxError,
 )
@@ -86,6 +90,10 @@ from repro.resilience import (
 from repro.serving import (
     ConnectionPool,
     ResultCache,
+    ServingConfig,
+    ShardRuntime,
+    ShardedEngine,
+    ShardedStore,
 )
 from repro.analysis import (
     CodeLinter,
@@ -102,6 +110,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AccelEngine",
     "AccelStore",
+    "AdmissionRejectedError",
     "CodeLinter",
     "ConnectionPool",
     "Database",
@@ -134,7 +143,13 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SchemaMarking",
+    "ServingConfig",
     "Severity",
+    "ShardError",
+    "ShardRuntime",
+    "ShardUnavailableError",
+    "ShardedEngine",
+    "ShardedStore",
     "ShreddedStore",
     "StorageError",
     "StoreIntegrityError",
@@ -142,6 +157,7 @@ __all__ = [
     "TranslationError",
     "TranslationResult",
     "UnsupportedXPathError",
+    "WorkerCrashedError",
     "XMLParseError",
     "XPathLinter",
     "XPathSyntaxError",

@@ -224,3 +224,175 @@ def write_json(payload: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (fraction in [0, 1])."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def collect_sharded(
+    scale: float = 6.0,
+    shards: int = 4,
+    docs: int = 8,
+    repeats: int = 3,
+    seed: int = 42,
+    latency_rounds: int = 3,
+    slow_seconds: float = 0.05,
+    workdir: str | None = None,
+) -> dict:
+    """Serial single-store vs multi-process sharded serving.
+
+    Loads ``docs`` XMark documents (each at ``scale``) into one
+    single-file store and one ``shards``-way sharded store, then
+    measures
+
+    * ``execute_many`` wall time for the XPathMark workload — serial
+      single connection vs the supervised scatter-gather fleet, and
+    * per-query latency p50/p99 with one slow shard replica, with and
+      without hedged requests (the hedge dodges the slow replica).
+
+    Returned under the ``"sharded_serving"`` key by the PR6 collection;
+    appended to the BENCH_PR4 trajectory by ``run_experiments --json``.
+    """
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            return _collect_sharded_in(
+                tmp, scale, shards, docs, repeats, seed,
+                latency_rounds, slow_seconds,
+            )
+    return _collect_sharded_in(
+        workdir, scale, shards, docs, repeats, seed,
+        latency_rounds, slow_seconds,
+    )
+
+
+def _collect_sharded_in(
+    workdir: str,
+    scale: float,
+    shards: int,
+    docs: int,
+    repeats: int,
+    seed: int,
+    latency_rounds: int,
+    slow_seconds: float,
+) -> dict:
+    from repro.resilience.faults import WorkerFaultPlan
+    from repro.serving.scatter import ServingConfig, ShardedEngine
+    from repro.serving.shards import ShardedStore
+
+    documents = []
+    for i in range(docs):
+        document = generate_xmark(XMarkConfig(scale=scale, seed=seed + i))
+        document.name = f"xmark-{i}.xml"
+        documents.append(document)
+    schema = infer_schema(documents)
+    xpaths = [query.xpath for query in XPATHMARK_QUERIES]
+
+    serial_store = ShreddedStore.create(
+        Database.open(
+            os.path.join(workdir, "serial.db"), check_same_thread=False
+        ),
+        schema,
+    )
+    serial_store.bulk_load(documents)
+    serial_store.db.execute("ANALYZE")
+    serial_store.db.commit()
+    serial_engine = PPFEngine(serial_store, result_cache_size=None)
+    serial_seconds = _median_time(
+        lambda: serial_engine.execute_many(xpaths, max_workers=1), repeats
+    )
+
+    sharded_store = ShardedStore.create(
+        os.path.join(workdir, "sharded"), schema, shards=shards
+    )
+    sharded_store.bulk_load(documents)
+    sharded_store.analyze()
+    config = ServingConfig(deadline=60.0, result_cache_size=None)
+
+    with sharded_store, ShardedEngine.serve(
+        sharded_store, config=config, replicas=1
+    ) as engine:
+        sharded_seconds = _median_time(
+            lambda: engine.execute_many(xpaths, max_workers=shards),
+            repeats,
+        )
+
+    # -- tail latency with one slow shard replica ------------------------
+    def latency_run(plan, serving_config, replicas=2):
+        samples, hedges = [], 0
+        with ShardedEngine.serve(
+            ShardedStore.open(os.path.join(workdir, "sharded")),
+            config=serving_config,
+            replicas=replicas,
+            fault_plan=plan,
+        ) as slow_engine:
+            for _ in range(latency_rounds):
+                for xpath in xpaths:
+                    start = time.perf_counter()
+                    result = slow_engine.execute(xpath)
+                    samples.append(time.perf_counter() - start)
+                    if not result.complete:
+                        raise AssertionError("slow shard must not fail")
+            hedges = slow_engine.stats["hedges"]
+        return samples, hedges
+
+    def slow_plan():
+        return WorkerFaultPlan().script(
+            "slow", shard=0, replica=0, generation=None,
+            times=10**9, seconds=slow_seconds,
+        )
+
+    hedged, hedge_count = latency_run(
+        slow_plan(), ServingConfig(
+            deadline=60.0, hedge_delay=slow_seconds / 4,
+            result_cache_size=None,
+        ),
+    )
+    unhedged, _ = latency_run(
+        slow_plan(), ServingConfig(
+            deadline=60.0, hedge_delay=10 * slow_seconds,
+            result_cache_size=None,
+        ),
+    )
+
+    total_elements = sum(d.element_count() for d in documents)
+    return {
+        "meta": {
+            "workload": "xmark-sharded",
+            "scale": scale,
+            "documents": docs,
+            "elements": total_elements,
+            "shards": shards,
+            "query_count": len(xpaths),
+            "repeats": repeats,
+            "python": f"{platform.python_implementation()} "
+            f"{platform.python_version()}",
+            "cpus": os.cpu_count(),
+        },
+        "throughput": {
+            "serial_seconds": round(serial_seconds, 6),
+            "sharded_seconds": round(sharded_seconds, 6),
+            "serial_qps": round(len(xpaths) / serial_seconds, 2),
+            "sharded_qps": round(len(xpaths) / sharded_seconds, 2),
+            "speedup_vs_serial": round(serial_seconds / sharded_seconds, 3),
+        },
+        "slow_shard_latency": {
+            "note": "one replica of shard 0 delays every request by "
+            "slow_seconds; hedged requests duplicate to the healthy "
+            "replica after hedge_delay",
+            "slow_seconds": slow_seconds,
+            "samples_per_mode": latency_rounds * len(xpaths),
+            "hedging": {
+                "p50_seconds": round(_percentile(hedged, 0.50), 6),
+                "p99_seconds": round(_percentile(hedged, 0.99), 6),
+                "hedges": hedge_count,
+            },
+            "no_hedging": {
+                "p50_seconds": round(_percentile(unhedged, 0.50), 6),
+                "p99_seconds": round(_percentile(unhedged, 0.99), 6),
+            },
+        },
+    }

@@ -6,6 +6,8 @@
     python -m repro query  store.db "//item[@id='item0']"
     python -m repro explain store.db "//keyword/ancestor::listitem"
     python -m repro info   store.db
+    python -m repro shard create store/ doc1.xml --shards 4
+    python -m repro query  store/ "//item" --shards 4
     python -m repro bench  --workload xmark --scale 8
     python -m repro lint   "//item[@id]/name" --workloads
     python -m repro verify-plans --workloads
@@ -13,6 +15,12 @@
 ``shred`` infers the schema from the first batch of documents and
 persists it in the database; later invocations reopen the store and
 validate new documents against it.
+
+``shard`` manages document-sharded store *directories*
+(:mod:`repro.serving.shards`); ``query`` detects such a directory (or
+is told with ``--shards N``) and serves it through the supervised
+multi-process scatter-gather engine, with ``--query-timeout`` acting
+as the per-query deadline of the degradation ladder.
 
 ``lint`` and ``verify-plans`` run the static analysis layer
 (:mod:`repro.analysis`) and exit ``0`` when clean, ``1`` on findings
@@ -23,6 +31,7 @@ usage errors.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.engine import PPFEngine
@@ -96,14 +105,25 @@ def _print_result(store, result) -> None:
     )
 
 
+def _is_sharded_dir(path: str) -> bool:
+    return os.path.isdir(path) and os.path.exists(
+        os.path.join(path, "manifest.json")
+    )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query`` — run XPath queries and print the results.
 
     Several queries with ``--workers N`` fan out over a read-only
     connection pool (``repro.serving``); results print in input order.
+    A sharded store directory (detected, or requested via ``--shards``)
+    is served by the supervised multi-process scatter-gather engine
+    instead, with ``--query-timeout`` as the per-query deadline.
     """
     from repro.serving import ConnectionPool
 
+    if args.shards is not None or _is_sharded_dir(args.database):
+        return _query_sharded(args)
     policy = ResiliencePolicy(
         query_timeout=args.query_timeout, max_rows=args.max_rows
     )
@@ -111,7 +131,11 @@ def cmd_query(args: argparse.Namespace) -> int:
     engine = PPFEngine(store)
     pool = None
     if args.workers > 1 and len(args.xpaths) > 1:
-        pool = ConnectionPool.for_store(store, size=args.workers)
+        # Pass the policy explicitly: the pool must enforce the same
+        # limits as the store connection, on every fan-out path.
+        pool = ConnectionPool.for_store(
+            store, size=args.workers, policy=policy
+        )
         engine.attach_pool(pool)
     try:
         results = engine.execute_many(args.xpaths, max_workers=args.workers)
@@ -123,6 +147,101 @@ def cmd_query(args: argparse.Namespace) -> int:
         if pool is not None:
             pool.close()
     return 0
+
+
+def _query_sharded(args: argparse.Namespace) -> int:
+    """Serve ``repro query`` over a sharded store directory."""
+    from repro.serving.scatter import ServingConfig, ShardedEngine
+    from repro.serving.shards import ShardedStore
+
+    if not _is_sharded_dir(args.database):
+        print(
+            f"error: {args.database!r} is not a sharded store directory "
+            f"(create one with `repro shard create`)",
+            file=sys.stderr,
+        )
+        return 2
+    store = ShardedStore.open(args.database)
+    if args.shards not in (None, 0, store.shard_count):
+        print(
+            f"error: store {args.database!r} has {store.shard_count} "
+            f"shard(s), not {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServingConfig(
+        deadline=args.query_timeout, max_rows=args.max_rows
+    )
+    exit_code = 0
+    with store, ShardedEngine.serve(store, config=config) as engine:
+        results = engine.execute_many(args.xpaths, max_workers=args.workers)
+        for xpath, result in zip(args.xpaths, results):
+            if len(args.xpaths) > 1:
+                print(f"== {xpath}")
+            _print_result(store, result)
+            if not result.complete:
+                shards = ", ".join(str(s) for s in result.failed_shards)
+                print(
+                    f"-- WARNING: partial result; shard(s) {shards} "
+                    f"did not contribute",
+                    file=sys.stderr,
+                )
+                exit_code = 3
+    return exit_code
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    """``repro shard`` — create, inspect, and verify sharded stores."""
+    from repro.serving.shards import ShardedStore
+
+    if args.action == "create":
+        documents = []
+        for name in args.documents:
+            with open(name, "r", encoding="utf-8") as handle:
+                documents.append(parse_document(handle.read(), name=name))
+        if _is_sharded_dir(args.directory):
+            store = ShardedStore.open(args.directory)
+        else:
+            schema = (
+                _load_schema(args.schema)
+                if args.schema
+                else infer_schema(documents)
+            )
+            store = ShardedStore.create(
+                args.directory, schema, shards=args.shards
+            )
+        with store:
+            doc_ids = store.bulk_load(documents)
+            for document, doc_id in zip(documents, doc_ids):
+                entry = store.doc_entries[doc_id - 1]
+                print(
+                    f"loaded {document.name!r} as doc {doc_id} -> "
+                    f"shard {entry.shard} "
+                    f"({document.element_count()} elements)"
+                )
+        return 0
+    store = ShardedStore.open(args.directory)
+    with store:
+        if args.action == "info":
+            print(f"shards:     {store.shard_count}")
+            print(f"documents:  {store.document_count()}")
+            print(f"elements:   {store.total_elements()}")
+            print(f"generation: {store.generation}")
+            for entry in store.doc_entries:
+                print(
+                    f"  doc {entry.doc_id:>4} {entry.name!r:<30} "
+                    f"shard {entry.shard} base {entry.base} "
+                    f"nodes {entry.node_count}"
+                )
+            return 0
+        # verify
+        problems = store.verify_integrity()
+        if problems:
+            for problem in problems:
+                print(f"FAIL {problem}")
+            return 1
+        print(f"all {store.shard_count} shard(s) verify clean")
+        return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -358,7 +477,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="abort the query once it produces more than N rows",
     )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a sharded store directory through the multi-process "
+        "scatter-gather engine (N checks the store's shard count; "
+        "0 = auto-detect)",
+    )
     query.set_defaults(handler=cmd_query)
+
+    shard = commands.add_parser(
+        "shard", help="create/inspect/verify document-sharded stores"
+    )
+    shard_actions = shard.add_subparsers(dest="action", required=True)
+    shard_create = shard_actions.add_parser(
+        "create", help="create a sharded store (or append documents)"
+    )
+    shard_create.add_argument("directory")
+    shard_create.add_argument("documents", nargs="+")
+    shard_create.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="number of shard files for a new store (default 4)",
+    )
+    shard_create.add_argument(
+        "--schema",
+        help="schema file (.dtd or .xsd); default: infer from documents",
+    )
+    shard_create.set_defaults(handler=cmd_shard)
+    shard_info = shard_actions.add_parser(
+        "info", help="manifest summary and document placement"
+    )
+    shard_info.add_argument("directory")
+    shard_info.set_defaults(handler=cmd_shard)
+    shard_verify = shard_actions.add_parser(
+        "verify", help="digest-check every shard against its manifest"
+    )
+    shard_verify.add_argument("directory")
+    shard_verify.set_defaults(handler=cmd_shard)
 
     explain = commands.add_parser("explain", help="show the generated SQL")
     explain.add_argument("database")

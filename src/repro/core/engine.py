@@ -91,19 +91,41 @@ class ResultRow:
 
 
 class QueryResult:
-    """Document-ordered result of one query."""
+    """Document-ordered result of one query.
+
+    **Completeness contract** (sharded serving): a result with
+    ``complete=True`` covers every shard/document of the store.  When
+    the sharded engine degrades to partial results, ``complete`` is
+    ``False`` and :attr:`failed_shards` lists the shard indexes whose
+    rows are missing — the rows that *are* present are still correct
+    and document-ordered.  Single-store engines always return complete
+    results (or raise).
+    """
 
     def __init__(
-        self, rows: list[ResultRow], projection: str, served_by: str = "sql"
+        self,
+        rows: list[ResultRow],
+        projection: str,
+        served_by: str = "sql",
+        complete: bool = True,
+        failed_shards: Optional[list[int]] = None,
     ):
         self.rows = rows
         #: ``nodes``, ``text`` or ``attribute``.
         self.projection = projection
         #: Which execution path produced the rows: ``"sql"`` (the
-        #: translated statement ran on the store) or ``"native"`` (the
+        #: translated statement ran on the store), ``"native"`` (the
         #: in-memory evaluator answered after SQL execution timed out or
-        #: exhausted its retries).
+        #: exhausted its retries) or ``"shards"`` (scatter-gather over
+        #: the sharded worker fleet).
         self.served_by = served_by
+        #: ``False`` when one or more shards could not contribute rows
+        #: (see :attr:`failed_shards`); always ``True`` for single-store
+        #: execution.
+        self.complete = complete
+        #: Shard indexes missing from a partial result (empty when
+        #: :attr:`complete`).
+        self.failed_shards: list[int] = list(failed_shards or [])
 
     @property
     def ids(self) -> list[int]:
@@ -357,14 +379,39 @@ class SQLXPathEngine:
                 record[0], record[1], bytes(record[2]), value=value
             )
 
+    @staticmethod
+    def _strictest(*limits: "Optional[float]") -> Optional[float]:
+        """The tightest of several optional limits (``None`` = none)."""
+        present = [limit for limit in limits if limit is not None]
+        return min(present) if present else None
+
     def _run_sql(self, sql: str) -> list[tuple]:
         """Run one statement under the resilience guards — on a pooled
         read-only connection when a pool is attached, on the store's own
-        connection otherwise."""
+        connection otherwise.
+
+        The store policy's ``query_timeout`` / ``max_rows`` are enforced
+        on *every* path: a pooled connection runs under the strictest of
+        its own policy and the store's, so attaching a pool built
+        without limits (``ConnectionPool(path)`` defaults to
+        :data:`~repro.resilience.DEFAULT_POLICY`) can never silently
+        drop the limits ``execute`` would have applied — this is what
+        makes ``--query-timeout`` reach the ``execute_many`` /
+        ``execute_parallel`` fan-out paths.
+        """
+        store_policy = self.store.db.policy
         pool = self._pool
         if pool is not None:
             with pool.acquire() as db:
-                return db.guarded_query(sql)
+                return db.query(
+                    sql,
+                    timeout=self._strictest(
+                        store_policy.query_timeout, db.policy.query_timeout
+                    ),
+                    max_rows=self._strictest(
+                        store_policy.max_rows, db.policy.max_rows
+                    ),
+                )
         return self.store.db.guarded_query(sql)
 
     def _materialize(

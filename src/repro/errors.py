@@ -90,12 +90,60 @@ class QueryCancelledError(StorageError):
 
 class RetryExhaustedError(StorageError):
     """Raised when transient errors (``SQLITE_BUSY`` and friends) persist
-    beyond the retry budget of the active resilience policy."""
+    beyond the retry budget of the active resilience policy.
+
+    Carries the total number of :attr:`attempts` made (first try plus
+    retries) and chains the last underlying exception as ``__cause__``,
+    so supervisor logs can say *what* kept failing and *how hard* the
+    retry layer tried.  The SQL excerpt in the message follows the same
+    ~2KB truncation contract as every other :class:`StorageError`.
+    """
+
+    def __init__(
+        self, message: str, *, sql: str | None = None, attempts: int = 0
+    ):
+        super().__init__(message, sql=sql)
+        #: Total execution attempts made (1 first try + N retries).
+        self.attempts = attempts
 
 
 class StoreIntegrityError(StorageError):
     """Raised when the post-load integrity check finds orphan rows,
     dangling ``path_id`` references or out-of-order Dewey positions."""
+
+
+class ShardError(StorageError):
+    """Base class for failures of the sharded multi-process serving
+    layer (:mod:`repro.serving.shards` / :mod:`repro.serving.scatter`).
+
+    Carries the affected ``shard`` index when the failure concerns one
+    shard (``None`` for store-wide failures).
+    """
+
+    def __init__(
+        self, message: str, *, sql: str | None = None,
+        shard: int | None = None,
+    ):
+        super().__init__(message, sql=sql)
+        self.shard = shard
+
+
+class WorkerCrashedError(ShardError):
+    """Raised (or recorded per shard) when a shard worker process died
+    while a request was in flight.  The supervisor respawns the worker;
+    the request itself is retried or reported failed."""
+
+
+class ShardUnavailableError(ShardError):
+    """Raised when a shard cannot serve at all: its circuit breaker is
+    open, its worker fleet is down, or every attempt within the query
+    deadline failed."""
+
+
+class AdmissionRejectedError(ShardError):
+    """Raised by the sharded engine's admission-control queue when the
+    in-flight limit is reached and no slot frees up within the queue
+    timeout — explicit backpressure instead of unbounded queueing."""
 
 
 class TranslationError(ReproError):

@@ -22,7 +22,15 @@ from repro.resilience.integrity import (
 from repro.resilience.policy import DEFAULT_POLICY, ResiliencePolicy
 from repro.resilience.retry import backoff_delay, is_transient, run_with_retry
 
-_LAZY = ("FaultInjectingDatabase", "FaultPlan", "FaultSpec")
+_LAZY = (
+    "FaultInjectingDatabase",
+    "FaultPlan",
+    "FaultSpec",
+    "WorkerFault",
+    "WorkerFaultDraw",
+    "WorkerFaultPlan",
+    "corrupt_shard_file",
+)
 
 
 def __getattr__(name):
@@ -41,9 +49,13 @@ __all__ = [
     "IntegrityIssue",
     "QueryGuard",
     "ResiliencePolicy",
+    "WorkerFault",
+    "WorkerFaultDraw",
+    "WorkerFaultPlan",
     "backoff_delay",
     "check_document_load",
     "check_referential_integrity",
+    "corrupt_shard_file",
     "is_transient",
     "run_with_retry",
 ]

@@ -17,6 +17,7 @@ are never faulted so a rollback path can always complete.
 
 from __future__ import annotations
 
+import os
 import random
 import sqlite3
 import time
@@ -112,6 +113,152 @@ class FaultPlan:
     def injected_kinds(self) -> list[str]:
         """Just the kinds of the injected faults, in firing order."""
         return [kind for kind, _ in self.injected]
+
+
+@dataclass
+class WorkerFault:
+    """One scripted process-level fault of the sharded serving layer.
+
+    Matched inside a shard worker against its ``(shard, replica)``
+    identity and a per-worker count of query requests served so far.
+    """
+
+    #: ``"kill"`` (worker exits hard, as if OOM-killed), ``"hang"``
+    #: (worker freezes — heartbeats stop — until the supervisor
+    #: terminates it) or ``"slow"`` (the request is delayed by
+    #: ``seconds`` before executing).
+    kind: str
+    #: Shard the fault targets (``None`` matches every shard).
+    shard: int | None = None
+    #: Replica index the fault targets (``None`` matches every replica).
+    replica: int | None = None
+    #: Query-request ordinal (0-based, per worker *incarnation*) from
+    #: which the fault starts firing.
+    after: int = 0
+    #: Worker generation the fault targets.  Defaults to ``0`` — the
+    #: original incarnation — so a respawned worker genuinely recovers;
+    #: ``None`` makes the fault hit every incarnation (a permanently
+    #: broken worker).
+    generation: int | None = 0
+    #: Remaining firings (``kill``/``hang`` only ever fire once per
+    #: worker incarnation by nature).
+    times: int = 1
+    #: Delay for ``"slow"`` faults / freeze duration cap for ``"hang"``.
+    seconds: float = 0.05
+
+
+@dataclass
+class WorkerFaultPlan:
+    """A seeded, picklable schedule of process-level faults.
+
+    The plan ships to every worker at spawn time; each worker draws
+    from its own ``random.Random`` stream seeded with
+    ``seed ^ hash((shard, replica))`` so a run is exactly reproducible
+    regardless of scheduling order.  Unlike :class:`FaultPlan` (which
+    fires below the statement layer), these faults model whole-process
+    failure: kill, freeze, and shard-level slowness.
+    """
+
+    seed: int = 0
+    faults: list[WorkerFault] = field(default_factory=list)
+    #: Background probability that any query request is slowed by
+    #: ``slow_seconds`` (applied after scripted faults).
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.02
+
+    def script(
+        self,
+        kind: str,
+        *,
+        shard: int | None = None,
+        replica: int | None = None,
+        after: int = 0,
+        generation: int | None = 0,
+        times: int = 1,
+        seconds: float = 0.05,
+    ) -> "WorkerFaultPlan":
+        """Queue a scripted fault; returns ``self`` for chaining."""
+        self.faults.append(
+            WorkerFault(
+                kind,
+                shard=shard,
+                replica=replica,
+                after=after,
+                generation=generation,
+                times=times,
+                seconds=seconds,
+            )
+        )
+        return self
+
+    def for_worker(
+        self, shard: int, replica: int, generation: int = 0
+    ) -> "WorkerFaultDraw":
+        """The per-worker drawing state (created inside the worker
+        process; the plan object itself stays immutable there)."""
+        return WorkerFaultDraw(self, shard, replica, generation)
+
+
+class WorkerFaultDraw:
+    """Per-worker-incarnation drawing state over a
+    :class:`WorkerFaultPlan`."""
+
+    def __init__(
+        self, plan: WorkerFaultPlan, shard: int, replica: int,
+        generation: int = 0,
+    ):
+        self._plan = plan
+        self._shard = shard
+        self._replica = replica
+        self._generation = generation
+        self._ordinal = 0
+        self._fired: dict[int, int] = {}
+        self._rng = random.Random(plan.seed ^ (shard * 65_537 + replica))
+
+    def draw(self) -> WorkerFault | None:
+        """The fault to apply to the next query request, if any."""
+        ordinal = self._ordinal
+        self._ordinal += 1
+        for position, fault in enumerate(self._plan.faults):
+            if fault.shard is not None and fault.shard != self._shard:
+                continue
+            if fault.replica is not None and fault.replica != self._replica:
+                continue
+            if (
+                fault.generation is not None
+                and fault.generation != self._generation
+            ):
+                continue
+            if ordinal < fault.after:
+                continue
+            if self._fired.get(position, 0) >= fault.times:
+                continue
+            self._fired[position] = self._fired.get(position, 0) + 1
+            return fault
+        if self._plan.slow_rate and self._rng.random() < self._plan.slow_rate:
+            return WorkerFault("slow", seconds=self._plan.slow_seconds)
+        return None
+
+
+def corrupt_shard_file(path: str, seed: int = 0, bytes_to_flip: int = 64) -> None:
+    """Deterministically corrupt a SQLite shard file in place.
+
+    Flips ``bytes_to_flip`` pseudo-random bytes spread over the file
+    (including the header region), modelling on-disk corruption: later
+    statements on the file fail with ``sqlite3.DatabaseError`` and the
+    shard's manifest digest no longer verifies.  Used by the chaos
+    suite; never call it on data you care about.
+    """
+    size = os.path.getsize(path)
+    rng = random.Random(seed)
+    with open(path, "r+b") as handle:
+        for _ in range(bytes_to_flip):
+            offset = rng.randrange(size)
+            handle.seek(offset)
+            original = handle.read(1)
+            flipped = bytes([original[0] ^ 0xFF]) if original else b"\xff"
+            handle.seek(offset)
+            handle.write(flipped)
 
 
 class FaultInjectingDatabase(Database):

@@ -74,6 +74,7 @@ def run_with_retry(
                     f"transient error persisted through "
                     f"{attempt + 1} attempt(s): {exc}",
                     sql=sql,
+                    attempts=attempt + 1,
                 ) from exc
             sleep(backoff_delay(policy, attempt, rng))
             attempt += 1

@@ -14,17 +14,59 @@ that under concurrency:
   mutation can never serve a stale answer,
 * :func:`bulk_pragmas` / :func:`iter_chunks` — the pragma scope and
   batching primitives behind ``ShreddedStore.bulk_load`` /
-  ``EdgeStore.bulk_load``.
+  ``EdgeStore.bulk_load``,
+* the **sharded multi-process tier** (imported lazily — it builds on
+  :mod:`repro.core`, which itself imports this package):
+  :class:`ShardedStore` places documents across N SQLite shard files,
+  :class:`ShardRuntime` supervises the forked worker fleet serving
+  them, and :class:`ShardedEngine` scatter-gathers queries over the
+  fleet with deadlines, hedging, circuit breaking and a
+  graceful-degradation ladder.
 """
 
 from repro.serving.bulk import bulk_pragmas, iter_chunks
 from repro.serving.cache import CacheInfo, ResultCache
 from repro.serving.pool import ConnectionPool
 
+#: name -> submodule holding it (resolved on first attribute access).
+_LAZY = {
+    "DocEntry": "shards",
+    "ShardedStore": "shards",
+    "shard_of": "shards",
+    "CircuitBreaker": "supervisor",
+    "ShardRuntime": "supervisor",
+    "WorkerConfig": "supervisor",
+    "WorkerHandle": "supervisor",
+    "ServingConfig": "scatter",
+    "ShardOutcome": "scatter",
+    "ShardedEngine": "scatter",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f"repro.serving.{module_name}")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CacheInfo",
+    "CircuitBreaker",
     "ConnectionPool",
+    "DocEntry",
     "ResultCache",
+    "ServingConfig",
+    "ShardOutcome",
+    "ShardRuntime",
+    "ShardedEngine",
+    "ShardedStore",
+    "WorkerConfig",
+    "WorkerHandle",
     "bulk_pragmas",
     "iter_chunks",
+    "shard_of",
 ]

@@ -1,0 +1,750 @@
+"""Scatter-gather query execution over a sharded store.
+
+:class:`ShardedEngine` is the sharded counterpart of
+:class:`~repro.core.engine.PPFEngine`: translate once (all shards share
+one schema, and the generated SQL filters `Paths` by string, never by
+shard-local ids), scatter the statement to every shard's worker via the
+:class:`~repro.serving.supervisor.ShardRuntime`, remap shard-local row
+ids to global ids through the store's document registry, and merge in
+Dewey document order — bit-identical to single-store execution.
+
+The failure policy is a **graceful-degradation ladder**, applied per
+shard and rung by rung:
+
+1. **hedge** — when a shard has not answered within ``hedge_delay``,
+   the identical request is duplicated to a second replica worker and
+   the first response wins (stragglers lose, tail latency drops);
+2. **retry** — a failed or crashed attempt is retried on the next
+   replica, within the remaining deadline budget;
+3. **partial results** — shards still failing after their retries are
+   *dropped*, not guessed: the merged result reports
+   ``complete=False`` with the losers in ``failed_shards`` (the rows
+   that are present remain correct and ordered);
+4. **native fallback** — when *every* shard failed, the in-memory
+   evaluator answers from the store's resident documents
+   (``served_by="native"``); if it cannot vouch for the data, the query
+   fails with a typed :class:`~repro.errors.ShardUnavailableError`.
+
+No rung ever fabricates rows; a caller always gets correct-complete,
+correct-partial (flagged), or a typed error — the chaos suite asserts
+exactly this against the native oracle.
+
+Backpressure sits in front of the ladder: an admission semaphore caps
+in-flight queries (reject fast with
+:class:`~repro.errors.AdmissionRejectedError` rather than queue without
+bound), and a per-shard :class:`~repro.serving.supervisor.
+CircuitBreaker` fails persistently-broken shards fast instead of
+spending the deadline on them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import marshal
+import operator
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.adapters import SchemaAwareAdapter
+from repro.core.engine import (
+    ExplainReport,
+    QueryResult,
+    ResultRow,
+    SQLXPathEngine,
+)
+from repro.core.translator import PPFTranslator, TranslationResult
+from repro.errors import AdmissionRejectedError, ShardUnavailableError
+from repro.resilience.faults import WorkerFaultPlan
+from repro.resilience.policy import ResiliencePolicy
+from repro.serving.supervisor import CircuitBreaker, ShardRuntime
+from repro.sqlgen.ast import UnionStatement
+from repro.xpath.ast import XPathExpr
+
+#: Granularity of the per-shard wait loop (crash detection latency).
+_WAIT_SLICE = 0.02
+
+#: Backstop granularity of the batch wait loop.  Batch waiters are
+#: woken by the dispatcher on response and by the supervisor on
+#: respawn, so this poll only catches a worker that died *between*
+#: health checks — it can be coarse, which keeps the parent asleep
+#: (and off the CPU) while workers run the batch.
+_BATCH_WAIT_SLICE = 0.25
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables of the sharded serving ladder."""
+
+    #: Default per-query wall-clock deadline in seconds, budgeted over a
+    #: shard's attempts (``None`` = no deadline).
+    deadline: Optional[float] = 5.0
+    #: Seconds a shard may stay silent before a hedged duplicate request
+    #: goes to a second replica (``None`` disables hedging).
+    hedge_delay: Optional[float] = 0.05
+    #: Extra attempts per shard after the first failed/crashed one.
+    shard_retries: int = 1
+    #: Maximum queries in flight; the admission queue rejects beyond it.
+    max_inflight: int = 8
+    #: Seconds :meth:`ShardedEngine.execute` waits for an admission slot
+    #: before raising :class:`AdmissionRejectedError`.
+    admission_timeout: float = 0.5
+    #: Consecutive per-shard failures that trip the shard's breaker.
+    breaker_threshold: int = 3
+    #: Seconds a tripped breaker stays open before half-open probing.
+    breaker_cooldown: float = 1.0
+    #: Per-request row cap forwarded to the workers (``None`` = none).
+    max_rows: Optional[int] = None
+    #: Allow the final native-evaluator rung when every shard failed.
+    fallback: bool = True
+    #: Entries in the generation-keyed result cache (``None`` disables).
+    result_cache_size: Optional[int] = 128
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard contributed to one query."""
+
+    shard: int
+    rows: Optional[list] = None
+    #: Failure classification (``None`` on success): ``"breaker-open"``,
+    #: ``"deadline"``, ``"worker-crashed"``, or a worker-reported error
+    #: kind (``"timeout"``, ``"limit"``, ``"storage"``, ...).
+    kind: Optional[str] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    hedged: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.rows is not None
+
+
+class ShardedEngine:
+    """Scatter-gather XPath execution over a :class:`~repro.serving.
+    shards.ShardedStore` served by a :class:`ShardRuntime` worker fleet.
+
+    Construct directly from an already-running runtime, or use
+    :meth:`serve` to spawn (and own) one.  Thread-safe; admission
+    control is the concurrency limiter.
+    """
+
+    def __init__(
+        self,
+        store,
+        runtime: ShardRuntime,
+        config: Optional[ServingConfig] = None,
+        own_runtime: bool = False,
+        verify_plans: bool = False,
+    ):
+        if runtime.shard_count != store.shard_count:
+            raise ShardUnavailableError(
+                f"runtime serves {runtime.shard_count} shard(s) but the "
+                f"store has {store.shard_count}"
+            )
+        self.store = store
+        self.runtime = runtime
+        self.config = config if config is not None else ServingConfig()
+        self._own_runtime = own_runtime
+        # The planner wraps translation caching, explain() and the
+        # native-fallback evaluation; its SQL-execution paths are never
+        # used (a ShardedStore has no single `.db` to run them on).
+        self._planner = SQLXPathEngine(
+            store,
+            PPFTranslator(SchemaAwareAdapter(store)),
+            fallback=self.config.fallback,
+            result_cache_size=self.config.result_cache_size,
+            verify_plans=verify_plans,
+        )
+        self._admission = threading.BoundedSemaphore(self.config.max_inflight)
+        self._breakers = {
+            shard: CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
+            )
+            for shard in range(store.shard_count)
+        }
+        # One long-lived scatter pool instead of a ThreadPoolExecutor
+        # per query: sized so every admitted query can fan out over all
+        # shards at once without thread-spawn latency on the hot path.
+        self._scatter = ThreadPoolExecutor(
+            max_workers=max(1, self.config.max_inflight)
+            * store.shard_count,
+            thread_name_prefix="scatter",
+        )
+        self._stats_lock = threading.Lock()
+        #: Degradation counters: queries, hedges, retries, partials,
+        #: fallbacks, rejections, breaker_short_circuits.
+        self.stats = {
+            "queries": 0,
+            "hedges": 0,
+            "retries": 0,
+            "partials": 0,
+            "fallbacks": 0,
+            "rejections": 0,
+            "breaker_short_circuits": 0,
+        }
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def serve(
+        cls,
+        store,
+        config: Optional[ServingConfig] = None,
+        replicas: int = 2,
+        pool_size: int = 2,
+        policy: Optional[ResiliencePolicy] = None,
+        fault_plan: Optional[WorkerFaultPlan] = None,
+        health_interval: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        verify_plans: bool = False,
+    ) -> "ShardedEngine":
+        """Spawn a worker fleet over ``store`` and wrap it in an engine
+        that owns it (closing the engine closes the fleet)."""
+        kwargs = {}
+        if health_interval is not None:
+            kwargs["health_interval"] = health_interval
+        if heartbeat_timeout is not None:
+            kwargs["heartbeat_timeout"] = heartbeat_timeout
+        runtime = ShardRuntime(
+            store.shard_paths,
+            replicas=replicas,
+            pool_size=pool_size,
+            policy=policy if policy is not None else store.policy,
+            fault_plan=fault_plan,
+            **kwargs,
+        ).start()
+        return cls(
+            store,
+            runtime,
+            config=config,
+            own_runtime=True,
+            verify_plans=verify_plans,
+        )
+
+    def close(self) -> None:
+        """Shut down the scatter pool, and the worker fleet when this
+        engine owns it."""
+        self._scatter.shutdown(wait=False)
+        if self._own_runtime:
+            self.runtime.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- planning ----------------------------------------------------------------
+
+    def translate(
+        self, expression: Union[str, XPathExpr]
+    ) -> TranslationResult:
+        """Translate without executing (cached for string expressions;
+        one translation serves every shard)."""
+        return self._planner.translate(expression)
+
+    def explain(self, expression: Union[str, XPathExpr]) -> ExplainReport:
+        """The SQL that would be scattered to every shard, as an
+        :class:`ExplainReport`."""
+        return self._planner.explain(expression)
+
+    # -- stats -------------------------------------------------------------------
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[key] += amount
+
+    def breaker_states(self) -> dict[int, str]:
+        """Current circuit-breaker state per shard."""
+        return {
+            shard: breaker.state
+            for shard, breaker in self._breakers.items()
+        }
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        expression: Union[str, XPathExpr],
+        deadline: Optional[float] = None,
+    ) -> QueryResult:
+        """Run ``expression`` over every shard and merge.
+
+        ``deadline`` (seconds) overrides the config's per-query
+        deadline.  See the module docstring for the degradation ladder;
+        the result's :attr:`~repro.core.engine.QueryResult.complete` /
+        ``failed_shards`` carry the completeness contract.
+
+        :raises AdmissionRejectedError: no in-flight slot freed up
+            within the admission timeout (backpressure).
+        :raises ShardUnavailableError: every shard failed and the
+            native fallback was disabled or declined.
+        """
+        if not self._admission.acquire(timeout=self.config.admission_timeout):
+            self._count("rejections")
+            raise AdmissionRejectedError(
+                f"admission queue full: {self.config.max_inflight} queries "
+                f"in flight and none finished within "
+                f"{self.config.admission_timeout:g}s"
+            )
+        try:
+            self._count("queries")
+            return self._execute_admitted(expression, deadline)
+        finally:
+            self._admission.release()
+
+    def execute_many(
+        self,
+        expressions,
+        max_workers: int = 4,
+        deadline: Optional[float] = None,
+    ) -> list[QueryResult]:
+        """Run many queries, results in input order.
+
+        The statements are *pipelined*: each shard worker receives one
+        batch request carrying every statement, so queue and pickle
+        overhead is paid per shard instead of per query.  Any statement
+        a shard's batch could not answer is re-run through the normal
+        per-shard hedge/retry ladder, so per-query degradation
+        semantics (partial results, fallback, typed errors) are
+        unchanged.  ``deadline`` covers the whole batch; the batch
+        occupies one admission slot.  ``max_workers`` is accepted for
+        API compatibility (pipelining replaced the per-query thread
+        fan-out)."""
+        expressions = list(expressions)
+        if len(expressions) <= 1:
+            return [
+                self.execute(expression, deadline=deadline)
+                for expression in expressions
+            ]
+        results: dict[int, QueryResult] = {}
+        pending: list[tuple[int, TranslationResult]] = []
+        keys: dict[int, object] = {}
+        for index, expression in enumerate(expressions):
+            translation = self.translate(expression)
+            if translation.is_empty:
+                results[index] = QueryResult(
+                    [], translation.projection, served_by="shards"
+                )
+                continue
+            key = self._planner._result_key(expression)
+            if key is not None:
+                cached = self._planner._result_cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            keys[index] = key
+            pending.append((index, translation))
+        if pending:
+            if not self._admission.acquire(
+                timeout=self.config.admission_timeout
+            ):
+                self._count("rejections")
+                raise AdmissionRejectedError(
+                    f"admission queue full: {self.config.max_inflight} "
+                    f"queries in flight and none finished within "
+                    f"{self.config.admission_timeout:g}s"
+                )
+            try:
+                for _ in pending:
+                    self._count("queries")
+                self._execute_batch(pending, keys, results, deadline)
+            finally:
+                self._admission.release()
+        return [results[index] for index in range(len(expressions))]
+
+    def _execute_batch(
+        self,
+        pending: list,
+        keys: dict,
+        results: dict,
+        deadline: Optional[float],
+    ) -> None:
+        """Scatter one pipelined batch per shard, ladder the misses,
+        merge per query into ``results`` (keyed by input position)."""
+        budget = deadline if deadline is not None else self.config.deadline
+        expiry = time.monotonic() + budget if budget is not None else None
+        sqls = [translation.sql for _, translation in pending]
+        shard_count = self.store.shard_count
+        per_shard = dict(
+            zip(
+                range(shard_count),
+                self._scatter.map(
+                    lambda shard: self._batch_shard(shard, sqls, expiry),
+                    range(shard_count),
+                ),
+            )
+        )
+        for position, (index, translation) in enumerate(pending):
+            outcomes = []
+            for shard in range(shard_count):
+                batched = per_shard[shard]
+                outcome = (
+                    batched[position] if batched is not None else None
+                )
+                if outcome is None or not outcome.ok:
+                    # This statement missed its batch (worker failure,
+                    # breaker, per-item error): the per-shard ladder
+                    # takes over with the remaining deadline.
+                    outcome = self._query_shard(
+                        shard, translation.sql, expiry
+                    )
+                outcomes.append(outcome)
+            failures = [o for o in outcomes if not o.ok]
+            if len(failures) == shard_count:
+                results[index] = self._all_shards_failed(
+                    translation.expression, translation.projection, failures
+                )
+                continue
+            result = self._merge(translation, outcomes)
+            if result.complete:
+                self._planner._cache_result(keys.get(index), result)
+            else:
+                self._count("partials")
+            results[index] = result
+
+    def _batch_shard(
+        self, shard: int, sqls: list[str], expiry: Optional[float]
+    ) -> Optional[list[ShardOutcome]]:
+        """One pipelined batch round-trip to ``shard``.
+
+        Returns per-statement outcomes (failed items carry their error
+        and fall to the ladder), or ``None`` when the whole batch needs
+        the ladder (open breaker, crashed worker, deadline)."""
+        breaker = self._breakers[shard]
+        if not breaker.allow():
+            return None
+        remaining = (
+            expiry - time.monotonic() if expiry is not None else None
+        )
+        if remaining is not None and remaining <= 0:
+            return None
+        event = threading.Event()
+        try:
+            request_id = self.runtime.submit_batch(
+                shard,
+                sqls,
+                timeout=remaining,
+                max_rows=self.config.max_rows,
+                event=event,
+            )
+        except Exception:
+            breaker.record_failure()
+            return None
+        try:
+            while True:
+                wait = _BATCH_WAIT_SLICE
+                if expiry is not None:
+                    left = expiry - time.monotonic()
+                    if left <= 0:
+                        return None
+                    wait = min(wait, left)
+                _, response = self.runtime.wait_any(
+                    [request_id], event, wait
+                )
+                if response is not None:
+                    break
+                if self.runtime.request_lost(request_id):
+                    breaker.record_failure()
+                    return None
+        finally:
+            self.runtime.abandon(request_id)
+        if not response.get("ok"):
+            breaker.record_failure()
+            return None
+        breaker.record_success()
+        outcomes = []
+        for item in marshal.loads(response["items"]):
+            outcome = ShardOutcome(shard, attempts=1)
+            if item.get("ok"):
+                outcome.rows = item["rows"]
+            else:
+                outcome.kind = item.get("error_kind", "internal")
+                outcome.error = item.get("error")
+            outcomes.append(outcome)
+        return outcomes
+
+    def _execute_admitted(
+        self, expression, deadline: Optional[float]
+    ) -> QueryResult:
+        translation = self.translate(expression)
+        if translation.is_empty:
+            return QueryResult([], translation.projection, served_by="shards")
+        key = self._planner._result_key(expression)
+        if key is not None:
+            cached = self._planner._result_cache.get(key)
+            if cached is not None:
+                return cached
+        budget = deadline if deadline is not None else self.config.deadline
+        expiry = time.monotonic() + budget if budget is not None else None
+        shard_count = self.store.shard_count
+        outcomes = list(
+            self._scatter.map(
+                lambda shard: self._query_shard(
+                    shard, translation.sql, expiry
+                ),
+                range(shard_count),
+            )
+        )
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+        if len(failures) == shard_count:
+            return self._all_shards_failed(
+                expression, translation.projection, failures
+            )
+        result = self._merge(translation, outcomes)
+        if result.complete:
+            self._planner._cache_result(key, result)
+        else:
+            self._count("partials")
+        return result
+
+    # -- the per-shard ladder ----------------------------------------------------
+
+    def _query_shard(
+        self, shard: int, sql: str, expiry: Optional[float]
+    ) -> ShardOutcome:
+        """Run the hedge/retry rungs for one shard."""
+        outcome = ShardOutcome(shard)
+        breaker = self._breakers[shard]
+        if not breaker.allow():
+            self._count("breaker_short_circuits")
+            outcome.kind = "breaker-open"
+            outcome.error = (
+                f"shard {shard} circuit breaker is {breaker.state}"
+            )
+            return outcome
+        attempts = max(1, self.config.shard_retries + 1)
+        for attempt in range(attempts):
+            if attempt:
+                self._count("retries")
+            outcome.attempts = attempt + 1
+            remaining = (
+                expiry - time.monotonic() if expiry is not None else None
+            )
+            if remaining is not None and remaining <= 0:
+                outcome.kind = "deadline"
+                outcome.error = f"shard {shard}: query deadline exhausted"
+                break
+            # This attempt's slice of the remaining deadline: split it
+            # evenly over the attempts still available, so one slow
+            # attempt cannot starve the retries behind it.
+            slice_budget = (
+                remaining / (attempts - attempt)
+                if remaining is not None
+                else None
+            )
+            primary = attempt % self.runtime.replicas
+            response, kind = self._attempt(
+                shard, sql, primary, slice_budget, outcome
+            )
+            if response is not None and response.get("ok"):
+                breaker.record_success()
+                outcome.rows = response["rows"]
+                outcome.kind = None
+                outcome.error = None
+                return outcome
+            breaker.record_failure()
+            if response is not None:
+                outcome.kind = response.get("error_kind", "internal")
+                outcome.error = response.get("error")
+            else:
+                outcome.kind = kind
+                outcome.error = (
+                    f"shard {shard}: worker crashed mid-request"
+                    if kind == "worker-crashed"
+                    else f"shard {shard}: no response within budget"
+                )
+        return outcome
+
+    def _attempt(
+        self,
+        shard: int,
+        sql: str,
+        primary: int,
+        budget: Optional[float],
+        outcome: ShardOutcome,
+    ) -> tuple[Optional[dict], str]:
+        """One attempt: submit to ``primary``, hedge to the next replica
+        after ``hedge_delay`` of silence, first response wins.
+
+        Returns ``(response, kind)`` — response ``None`` means nothing
+        arrived, with ``kind`` saying why (``"deadline"`` or
+        ``"worker-crashed"``).
+        """
+        event = threading.Event()
+        start = time.monotonic()
+        sent: list[int] = []
+
+        def submit(replica: int) -> None:
+            left = (
+                budget - (time.monotonic() - start)
+                if budget is not None
+                else None
+            )
+            sent.append(
+                self.runtime.submit(
+                    shard,
+                    sql,
+                    replica=replica,
+                    timeout=left,
+                    max_rows=self.config.max_rows,
+                    event=event,
+                )
+            )
+
+        hedge_at = (
+            self.config.hedge_delay
+            if self.config.hedge_delay is not None
+            and self.runtime.replicas > 1
+            else None
+        )
+        try:
+            submit(primary)
+        except Exception:
+            return None, "worker-crashed"
+        try:
+            while True:
+                elapsed = time.monotonic() - start
+                if budget is not None and elapsed >= budget:
+                    return None, "deadline"
+                wait = _WAIT_SLICE
+                if budget is not None:
+                    wait = min(wait, budget - elapsed)
+                if hedge_at is not None:
+                    wait = min(wait, max(hedge_at - elapsed, 0.001))
+                request_id, response = self.runtime.wait_any(
+                    sent, event, wait
+                )
+                if response is not None:
+                    return response, "answered"
+                if all(self.runtime.request_lost(rid) for rid in sent):
+                    # Every incarnation we asked is dead or fenced off;
+                    # no answer can ever arrive — fail over now.
+                    return None, "worker-crashed"
+                if hedge_at is not None and elapsed >= hedge_at:
+                    hedge_at = None
+                    outcome.hedged = True
+                    self._count("hedges")
+                    try:
+                        submit(
+                            (primary + 1) % self.runtime.replicas
+                        )
+                    except Exception:  # noqa: S110 - hedge is optional
+                        pass
+        finally:
+            for request_id in sent:
+                self.runtime.abandon(request_id)
+
+    # -- merging and degradation -------------------------------------------------
+
+    def _merge(
+        self,
+        translation: TranslationResult,
+        outcomes: list[ShardOutcome],
+    ) -> QueryResult:
+        """Remap shard-local rows to global ids through the document
+        registry and merge in Dewey document order.
+
+        A row naming a document the registry does not know means the
+        shard file and the manifest disagree (corruption, swapped
+        file): that shard's rows are *discarded* and the shard is
+        reported failed — wrong attribution must never look like a
+        correct answer.
+        """
+        remap = self.store.remap_table()
+        failed = {
+            outcome.shard for outcome in outcomes if not outcome.ok
+        }
+        rows: list[ResultRow] = []
+        wants_value = translation.projection != "nodes"
+        for outcome in outcomes:
+            if not outcome.ok:
+                continue
+            shard_rows: list[ResultRow] = []
+            try:
+                # Shard responses arrive ordered by document, so the
+                # registry lookup and id offset are resolved once per
+                # document run instead of once per row.
+                for local_doc, records in itertools.groupby(
+                    outcome.rows, key=operator.itemgetter(1)
+                ):
+                    entry = remap[(outcome.shard, local_doc)]
+                    offset = entry.base - entry.local_base
+                    doc_id = entry.doc_id
+                    if wants_value:
+                        shard_rows.extend(
+                            ResultRow(
+                                record[0] + offset,
+                                doc_id,
+                                bytes(record[2]),
+                                value=None
+                                if len(record) < 4 or record[3] is None
+                                else str(record[3]),
+                            )
+                            for record in records
+                        )
+                    else:
+                        shard_rows.extend(
+                            ResultRow(
+                                record[0] + offset, doc_id, bytes(record[2])
+                            )
+                            for record in records
+                        )
+            except KeyError as exc:
+                failed.add(outcome.shard)
+                outcome.kind = "registry-mismatch"
+                outcome.error = (
+                    f"shard {outcome.shard} returned rows for local "
+                    f"doc {exc.args[0][1]}, unknown to the manifest"
+                )
+                continue
+            rows.extend(shard_rows)
+        if isinstance(translation.statement, UnionStatement):
+            # Only a UNION of branches can produce the same element
+            # twice (within one shard; global ids never collide across
+            # shards) — single-statement results skip the dedupe pass.
+            unique: dict[int, ResultRow] = {}
+            for row in rows:
+                unique.setdefault(row.id, row)
+            rows = list(unique.values())
+        ordered = sorted(
+            rows, key=operator.attrgetter("doc_id", "dewey_pos")
+        )
+        return QueryResult(
+            ordered,
+            translation.projection,
+            served_by="shards",
+            complete=not failed,
+            failed_shards=sorted(failed),
+        )
+
+    def _all_shards_failed(
+        self,
+        expression,
+        projection: str,
+        failures: list[ShardOutcome],
+    ) -> QueryResult:
+        """Last rung: every shard failed — answer natively or raise."""
+        if self.config.fallback:
+            # The planner's fallback machinery evaluates over the
+            # store's resident documents and declines (None) when they
+            # cannot vouch for the stored data.
+            fallback = self._planner._execute_fallback(
+                expression, projection
+            )
+            if fallback is not None:
+                self._count("fallbacks")
+                return fallback
+        detail = "; ".join(
+            f"shard {outcome.shard}: {outcome.kind} ({outcome.error})"
+            for outcome in failures
+        )
+        raise ShardUnavailableError(
+            f"every shard failed and the native fallback was "
+            f"{'unavailable' if self.config.fallback else 'disabled'}: "
+            f"{detail}"
+        )

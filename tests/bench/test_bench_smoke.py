@@ -62,3 +62,41 @@ def test_trajectory_payload_structure(tmp_path):
     out = tmp_path / "bench.json"
     write_json(payload, str(out))
     assert json.loads(out.read_text())["meta"] == payload["meta"]
+
+
+@pytest.mark.filterwarnings("ignore:.*fork.*:DeprecationWarning")
+def test_sharded_trajectory_payload_structure(tmp_path):
+    from repro.bench.trajectory import collect_sharded
+
+    payload = collect_sharded(
+        scale=0.5,
+        shards=2,
+        docs=4,
+        repeats=1,
+        latency_rounds=1,
+        workdir=str(tmp_path),
+    )
+
+    meta = payload["meta"]
+    assert meta["workload"] == "xmark-sharded"
+    assert meta["shards"] == 2 and meta["documents"] == 4
+    assert meta["elements"] > 0
+
+    throughput = payload["throughput"]
+    assert throughput["serial_seconds"] > 0
+    assert throughput["sharded_seconds"] > 0
+    assert throughput["speedup_vs_serial"] > 0
+    # No winner asserted here: at smoke scale the per-request IPC
+    # overhead dominates; BENCH_PR6.json records the scale-6 numbers.
+
+    latency = payload["slow_shard_latency"]
+    for mode in ("hedging", "no_hedging"):
+        assert latency[mode]["p50_seconds"] > 0
+        assert latency[mode]["p99_seconds"] >= latency[mode]["p50_seconds"]
+    # The hedge dodges the slow replica: its p50 must beat the
+    # unhedged p50, which eats the full injected delay.
+    assert (
+        latency["hedging"]["p50_seconds"]
+        < latency["no_hedging"]["p50_seconds"]
+    )
+    assert latency["hedging"]["hedges"] > 0

@@ -1,0 +1,144 @@
+"""Process-level fault plans: scripted kill/hang/slow schedules,
+seeded background slowness, and deterministic shard-file corruption."""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.resilience import (
+    WorkerFault,
+    WorkerFaultPlan,
+    corrupt_shard_file,
+)
+
+
+class TestScriptedWorkerFaults:
+    def test_targets_matching_worker_only(self):
+        plan = WorkerFaultPlan().script("kill", shard=1, replica=0)
+        assert plan.for_worker(0, 0).draw() is None
+        assert plan.for_worker(1, 1).draw() is None
+        fault = plan.for_worker(1, 0).draw()
+        assert fault is not None and fault.kind == "kill"
+
+    def test_wildcard_shard_matches_all(self):
+        plan = WorkerFaultPlan().script("slow", seconds=0.5)
+        for shard in range(3):
+            fault = plan.for_worker(shard, 0).draw()
+            assert fault is not None and fault.seconds == 0.5
+
+    def test_after_defers_firing(self):
+        plan = WorkerFaultPlan().script("kill", after=2)
+        draw = plan.for_worker(0, 0)
+        assert draw.draw() is None
+        assert draw.draw() is None
+        assert draw.draw().kind == "kill"
+
+    def test_times_bounds_firings_per_incarnation(self):
+        plan = WorkerFaultPlan().script("slow", times=2)
+        draw = plan.for_worker(0, 0)
+        assert draw.draw() is not None
+        assert draw.draw() is not None
+        assert draw.draw() is None
+
+    def test_generation_zero_default_spares_respawns(self):
+        """Scripted faults target the original incarnation by default,
+        so a respawned worker (generation 1) genuinely recovers."""
+        plan = WorkerFaultPlan().script("kill")
+        assert plan.for_worker(0, 0, generation=0).draw() is not None
+        assert plan.for_worker(0, 0, generation=1).draw() is None
+
+    def test_generation_none_hits_every_incarnation(self):
+        plan = WorkerFaultPlan().script("kill", generation=None, times=10)
+        for generation in range(3):
+            fault = plan.for_worker(0, 0, generation=generation).draw()
+            assert fault is not None
+
+    def test_script_chaining(self):
+        plan = (
+            WorkerFaultPlan()
+            .script("kill", shard=0)
+            .script("slow", shard=1, seconds=0.1)
+        )
+        assert [fault.kind for fault in plan.faults] == ["kill", "slow"]
+
+
+class TestSeededBackgroundSlowness:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            plan = WorkerFaultPlan(seed=seed, slow_rate=0.3)
+            draw = plan.for_worker(2, 1)
+            return [draw.draw() is not None for _ in range(50)]
+
+        assert schedule(42) == schedule(42)
+        assert schedule(42) != schedule(43)
+
+    def test_workers_draw_independent_streams(self):
+        plan = WorkerFaultPlan(seed=7, slow_rate=0.5)
+        a = [plan.for_worker(0, 0).draw() is not None for _ in range(1)]
+        draws = {
+            (shard, replica): [
+                plan.for_worker(shard, replica).draw() is not None
+                for _ in range(1)
+            ]
+            for shard in range(4)
+            for replica in range(2)
+        }
+        assert a == draws[(0, 0)]  # per-worker streams are stable
+        assert len(draws) == 8
+
+    def test_zero_rate_never_fires(self):
+        draw = WorkerFaultPlan(seed=1).for_worker(0, 0)
+        assert all(draw.draw() is None for _ in range(100))
+
+
+class TestCorruptShardFile:
+    def _make_db(self, path):
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE t (x)")
+        connection.executemany(
+            "INSERT INTO t VALUES (?)", [(i,) for i in range(500)]
+        )
+        connection.commit()
+        connection.close()
+
+    def test_corruption_breaks_the_database(self, tmp_path):
+        path = str(tmp_path / "victim.db")
+        self._make_db(path)
+        corrupt_shard_file(path, seed=3, bytes_to_flip=256)
+        with pytest.raises(sqlite3.DatabaseError):
+            connection = sqlite3.connect(path)
+            connection.execute("SELECT COUNT(*) FROM t").fetchone()
+            # Some corruptions only surface on a full scan.
+            connection.execute("SELECT * FROM t").fetchall()
+            connection.execute("PRAGMA integrity_check").fetchall()
+            raise sqlite3.DatabaseError("corruption not detected")
+
+    def test_deterministic_for_a_seed(self, tmp_path):
+        one = str(tmp_path / "one.db")
+        two = str(tmp_path / "two.db")
+        self._make_db(one)
+        self._make_db(two)
+        with open(one, "rb") as handle:
+            assert handle.read() == open(two, "rb").read()
+        corrupt_shard_file(one, seed=9)
+        corrupt_shard_file(two, seed=9)
+        with open(one, "rb") as handle:
+            assert handle.read() == open(two, "rb").read()
+
+    def test_preserves_file_size(self, tmp_path):
+        path = str(tmp_path / "size.db")
+        self._make_db(path)
+        before = os.path.getsize(path)
+        corrupt_shard_file(path, seed=1)
+        assert os.path.getsize(path) == before
+
+
+class TestWorkerFaultDefaults:
+    def test_defaults(self):
+        fault = WorkerFault("slow")
+        assert fault.shard is None and fault.replica is None
+        assert fault.generation == 0
+        assert fault.after == 0 and fault.times == 1

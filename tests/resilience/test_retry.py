@@ -80,6 +80,36 @@ class TestBackoff:
         assert isinstance(excinfo.value.__cause__, sqlite3.OperationalError)
         assert excinfo.value.sql == "SELECT 1"
 
+    def test_exhaustion_carries_attempt_count(self):
+        """The exception reports how hard the retry layer tried: the
+        first try plus every retry of the policy budget."""
+        policy = self.POLICY.replace(max_retries=3, backoff_base=0.0)
+
+        def always_busy():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_with_retry(always_busy, policy, sleep=lambda _: None)
+        assert excinfo.value.attempts == 4
+
+    def test_exhaustion_truncates_giant_sql_in_message(self):
+        """~2KB of SQL in the rendered message; the full statement
+        stays on the `sql` attribute."""
+        policy = self.POLICY.replace(max_retries=1, backoff_base=0.0)
+        giant = "SELECT " + ", ".join(f"c{i}" for i in range(2000))
+
+        def always_busy():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_with_retry(
+                always_busy, policy, sleep=lambda _: None, sql=giant
+            )
+        assert excinfo.value.sql == giant
+        message = str(excinfo.value)
+        assert "truncated" in message
+        assert len(message) < len(giant)
+
     def test_permanent_error_not_retried(self):
         attempts = []
 
@@ -112,9 +142,13 @@ class TestRetryThroughDatabase:
     def test_busy_beyond_budget_exhausts(self):
         plan = FaultPlan().script("busy", match="SELECT x", times=10)
         db = self._db(plan, max_retries=2)
-        with pytest.raises(RetryExhaustedError):
+        with pytest.raises(RetryExhaustedError) as excinfo:
             db.query("SELECT x FROM t")
         assert plan.injected_kinds() == ["busy"] * 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(
+            excinfo.value.__cause__, sqlite3.OperationalError
+        )
 
     def test_permanent_fault_wrapped_once(self):
         plan = FaultPlan().script(

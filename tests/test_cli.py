@@ -149,3 +149,112 @@ class TestCLI:
                      "--repeats", "1"]) == 0
         out = capsys.readouterr().out
         assert "QD1" in out and "QD5" in out
+
+
+class TestShardCLI:
+    """`repro shard create/info/verify` and sharded `repro query`."""
+
+    pytestmark = pytest.mark.filterwarnings(
+        "ignore:.*fork.*:DeprecationWarning"
+    )
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        return str(tmp_path / "store")
+
+    def _create(self, store_dir, xml_files, shards=2):
+        return main(
+            ["shard", "create", store_dir, "--shards", str(shards),
+             *xml_files]
+        )
+
+    def test_shard_create_prints_placement(
+        self, store_dir, xml_files, capsys
+    ):
+        assert self._create(store_dir, xml_files) == 0
+        out = capsys.readouterr().out
+        assert "doc 1" in out and "doc 2" in out
+        assert "shard" in out
+
+    def test_shard_info(self, store_dir, xml_files, capsys):
+        self._create(store_dir, xml_files)
+        capsys.readouterr()
+        assert main(["shard", "info", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "shards:     2" in out
+        assert "documents:  2" in out
+        assert "doc    1" in out
+
+    def test_shard_verify_clean(self, store_dir, xml_files, capsys):
+        self._create(store_dir, xml_files)
+        capsys.readouterr()
+        assert main(["shard", "verify", store_dir]) == 0
+        assert "verify clean" in capsys.readouterr().out
+
+    def test_shard_verify_detects_corruption(
+        self, store_dir, xml_files, capsys
+    ):
+        from repro.resilience.faults import corrupt_shard_file
+        from repro.serving.shards import ShardedStore
+
+        self._create(store_dir, xml_files)
+        with ShardedStore.open(store_dir) as store:
+            victim = store.shard_path(0)
+        corrupt_shard_file(victim, seed=5, bytes_to_flip=256)
+        capsys.readouterr()
+        assert main(["shard", "verify", store_dir]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_sharded_query_autodetects_directory(
+        self, store_dir, xml_files, capsys
+    ):
+        self._create(store_dir, xml_files)
+        capsys.readouterr()
+        assert main(["query", store_dir, "//item/@sku"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.split() == ["a", "b", "c"]
+        assert "via shards" in captured.err
+
+    def test_sharded_query_matches_single_store(
+        self, store_dir, db_path, xml_files, capsys
+    ):
+        main(["shred", db_path, *xml_files])
+        self._create(store_dir, xml_files)
+        capsys.readouterr()
+        main(["query", db_path, "//item[price>4]"])
+        single = capsys.readouterr().out
+        main(["query", store_dir, "//item[price>4]"])
+        sharded = capsys.readouterr().out
+        assert sharded == single
+
+    def test_shard_count_mismatch_is_an_error(
+        self, store_dir, xml_files, capsys
+    ):
+        self._create(store_dir, xml_files, shards=2)
+        capsys.readouterr()
+        assert main(["query", store_dir, "--shards", "3", "//item"]) == 2
+        assert "has 2 shard(s)" in capsys.readouterr().err
+
+    def test_shards_flag_on_plain_file_is_an_error(
+        self, db_path, xml_files, capsys
+    ):
+        main(["shred", db_path, *xml_files])
+        capsys.readouterr()
+        assert main(["query", db_path, "--shards", "2", "//item"]) == 2
+        assert "not a sharded store" in capsys.readouterr().err
+
+    def test_partial_result_warns_and_exits_3(
+        self, store_dir, xml_files, capsys
+    ):
+        from repro.resilience.faults import corrupt_shard_file
+        from repro.serving.shards import ShardedStore
+
+        self._create(store_dir, xml_files)
+        with ShardedStore.open(store_dir) as store:
+            victim = store.shard_path(0)
+        corrupt_shard_file(victim, seed=5, bytes_to_flip=512)
+        capsys.readouterr()
+        assert main(["query", store_dir, "//item/@sku"]) == 3
+        captured = capsys.readouterr()
+        assert "WARNING: partial result" in captured.err
+        assert "shard(s) 0" in captured.err
