@@ -58,6 +58,10 @@ def _build_store(document: object) -> ShreddedStore:
     schema = infer_schema([document])
     store = ShreddedStore.create(Database.memory(), schema)
     store.load(document)
+    # Collect statistics so the costed passes participate in the sweep
+    # (they no-op on statistics-less stores, which would silently shrink
+    # the 2^n combinations to the heuristic subsets).
+    store.collect_statistics()
     return store
 
 

@@ -29,6 +29,13 @@ enclosing alias scope) and reports violations as findings:
 ``PV007`` **projection shape** — top-level branches project the
     ``id, doc_id, dewey_pos[, value]`` tuple, identically across UNION
     branches.
+``PV008`` **justified cost-based reorders** — every scan/branch
+    permutation the ``costed-join-order`` / ``costed-union-order``
+    passes performed carries a :class:`~repro.plan.passes.
+    ReorderWitness` proving it is a pure permutation (no scan gained,
+    lost, or rebound to a different table) that preserves every
+    recorded structural-join binding orientation, and the surviving
+    plan actually exhibits the witnessed order.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ from repro.plan.nodes import (
 from repro.plan.passes import (
     EliminationWitness,
     PassReport,
+    ReorderWitness,
     _distinct_redundant,
 )
 from repro.schema.marking import PathClass, SchemaMarking
@@ -166,6 +174,7 @@ class PlanVerifier:
             self._check_observability(plan, report, label)
             self._check_projection_shape(plan, report, label)
         self._check_witnesses(pass_reports, report, label)
+        self._check_reorders(plan, pass_reports, report, label)
         return report
 
     # -- per-select invariants (recursive) ---------------------------------------
@@ -518,6 +527,21 @@ class PlanVerifier:
                     "Table 3",
                 )
             return
+        if condition.mode == "in":
+            literals = condition.literals or ()
+            if not literals or any(
+                not p or not p.startswith("/") for p in literals
+            ):
+                report.add(
+                    _ANALYZER,
+                    "PV005",
+                    Severity.ERROR,
+                    "path membership filter must carry a non-empty set "
+                    f"of absolute literal paths (got {literals!r})",
+                    subject,
+                    "Table 3 (costed access strategy)",
+                )
+            return
         if not condition.pattern:
             report.add(
                 _ANALYZER,
@@ -671,6 +695,131 @@ class PlanVerifier:
                 "claims the filter is unsatisfiable, but a candidate "
                 "root path satisfies the pattern"
             )
+
+    # -- PV008: cost-based reorder witnesses --------------------------------------
+
+    def _check_reorders(
+        self,
+        plan: QueryPlan,
+        pass_reports: Sequence[PassReport],
+        report: Report,
+        subject: str,
+    ) -> None:
+        for pass_report in pass_reports:
+            if pass_report.name not in (
+                "costed-join-order",
+                "costed-union-order",
+            ):
+                continue
+            if not pass_report.fired:
+                continue
+            if len(pass_report.reorders) != pass_report.changes:
+                report.add(
+                    _ANALYZER,
+                    "PV008",
+                    Severity.ERROR,
+                    f"{pass_report.name} performed "
+                    f"{pass_report.changes} reorder(s) but recorded "
+                    f"{len(pass_report.reorders)} witness(es)",
+                    subject,
+                    "Section 4.5 (cost-based extension)",
+                )
+            for witness in pass_report.reorders:
+                self._check_one_reorder(witness, plan, report, subject)
+
+    def _check_one_reorder(
+        self,
+        witness: ReorderWitness,
+        plan: QueryPlan,
+        report: Report,
+        subject: str,
+    ) -> None:
+        def fail(message: str) -> None:
+            report.add(
+                _ANALYZER,
+                "PV008",
+                Severity.ERROR,
+                f"{witness.kind} reorder witness does not re-derive: "
+                + message,
+                subject,
+                "Section 4.5 (cost-based extension)",
+            )
+
+        if witness.kind not in ("join-order", "union-order"):
+            fail(f"unknown reorder kind {witness.kind!r}")
+            return
+        if sorted(witness.before) != sorted(witness.after):
+            fail(
+                "the reorder is not a pure permutation: before "
+                f"{list(witness.before)} vs after {list(witness.after)}"
+            )
+            return
+        if witness.kind == "union-order":
+            estimates = witness.estimates
+            if any(
+                estimates[i] < estimates[i + 1]
+                for i in range(len(estimates) - 1)
+            ):
+                fail(
+                    "branch estimates are not non-increasing: "
+                    f"{list(estimates)}"
+                )
+            return
+        bindings = dict(
+            (alias, table) for table, alias in witness.before
+        )
+        for table, alias in witness.after:
+            if bindings.get(alias) != table:
+                fail(
+                    f"alias {alias!r} is bound to {table!r} after the "
+                    f"reorder but {bindings.get(alias)!r} before"
+                )
+                return
+        position = {alias: i for i, (_, alias) in enumerate(witness.after)}
+        origin = {alias: i for i, (_, alias) in enumerate(witness.before)}
+        for first, second in witness.ordered_pairs:
+            if first not in position or second not in position:
+                continue  # pair touches an alias outside this select
+            before_order = origin[first] < origin[second]
+            after_order = position[first] < position[second]
+            if before_order != after_order:
+                fail(
+                    "structural-join binding orientation of "
+                    f"({first}, {second}) was flipped (Dewey probes are "
+                    "nested-loop direction-sensitive)"
+                )
+                return
+        # The surviving plan must actually exhibit the witnessed order —
+        # unless the whole branch was pruned by a later pass, in which
+        # case there is nothing left to check.
+        if plan.root is None:
+            return
+        witnessed_aliases = {alias for _, alias in witness.after}
+        candidates = [
+            tuple((s.table, s.alias) for s in select.scans)
+            for select in self._all_selects(plan)
+            if {s.alias for s in select.scans} == witnessed_aliases
+        ]
+        if candidates and witness.after not in candidates:
+            fail(
+                "no surviving select exhibits the witnessed scan order "
+                f"{list(witness.after)}"
+            )
+
+    @staticmethod
+    def _all_selects(plan: QueryPlan) -> list[LogicalSelect]:
+        """Every select in the plan, sub-select bodies included."""
+        result: list[LogicalSelect] = []
+
+        def walk(select: LogicalSelect) -> None:
+            result.append(select)
+            for condition in iter_conditions(select.where):
+                for subplan in child_subplans(condition):
+                    walk(subplan)
+
+        for branch in plan.branches():
+            walk(branch)
+        return result
 
     # -- PV006: observable order / duplicates ------------------------------------
 

@@ -18,6 +18,7 @@ collection as a structural check.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -26,7 +27,7 @@ import tempfile
 import time
 from typing import Callable, Sequence
 
-from repro.bench.runner import time_engine
+from repro.bench.runner import run_query, time_engine
 from repro.core.engine import PPFEngine
 from repro.schema.inference import infer_schema
 from repro.serving.pool import ConnectionPool
@@ -215,6 +216,179 @@ def _collect_in(
             "load_loop_seconds": round(loop_seconds, 6),
             "bulk_seconds": round(bulk_seconds, 6),
             "speedup": round(loop_seconds / bulk_seconds, 3),
+        },
+    }
+
+
+def collect_costed(
+    scale: float = 6.0,
+    repeats: int = 21,
+    seed: int = 42,
+    workdir: str | None = None,
+) -> dict:
+    """Heuristic vs cost-based optimizer pipeline on the XMark workload.
+
+    One store, statistics collected at shred time; two engines over it —
+    the heuristic pipeline (every non-costed pass) and the full costed
+    pipeline.  Per query: median latency under both, which costed passes
+    fired, and the estimator's row count against the actual result
+    cardinality (q-error).  Returned as the ``optimizer.costed`` section
+    of the benchmark JSON.
+    """
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            return _collect_costed_in(tmp, scale, repeats, seed)
+    return _collect_costed_in(workdir, scale, repeats, seed)
+
+
+def _time_interleaved(
+    first: PPFEngine, second: PPFEngine, xpath: str, repeats: int
+) -> tuple[float, int, float, int]:
+    """Best-of-``repeats`` per-execution seconds for two engines.
+
+    Each sample times a small *batch* of executions (amortising clock
+    and scheduler jitter that dwarfs a sub-millisecond query), rounds
+    are interleaved (rather than timing one engine's block after the
+    other) to cancel clock-speed and page-cache drift, and the round's
+    leader alternates so neither engine systematically pays the cold
+    half of a round.  The reducer is the *minimum*, not the median:
+    timing noise is one-sided (it only ever adds time), and two
+    engines running byte-identical SQL must tie.
+    """
+    batch = 5
+    count_first = run_query(first, xpath)
+    count_second = run_query(second, xpath)
+    samples_first: list[float] = []
+    samples_second: list[float] = []
+    gc.collect()
+    gc.disable()
+    try:
+        for round_index in range(repeats):
+            pair = [
+                (first, samples_first),
+                (second, samples_second),
+            ]
+            if round_index % 2:
+                pair.reverse()
+            for engine, samples in pair:
+                start = time.perf_counter()
+                for _ in range(batch):
+                    run_query(engine, xpath)
+                samples.append((time.perf_counter() - start) / batch)
+    finally:
+        gc.enable()
+    return (
+        min(samples_first),
+        count_first,
+        min(samples_second),
+        count_second,
+    )
+
+
+def _collect_costed_in(
+    workdir: str, scale: float, repeats: int, seed: int
+) -> dict:
+    from repro.plan.passes import DEFAULT_PASS_NAMES
+    from repro.workloads.xpathmark import XPATHMARK_A_QUERIES
+
+    queries = list(XPATHMARK_QUERIES) + list(XPATHMARK_A_QUERIES)
+    document = generate_xmark(XMarkConfig(scale=scale, seed=seed))
+    store = ShreddedStore.create(
+        Database.open(os.path.join(workdir, "costed.db")),
+        infer_schema([document]),
+    )
+    store.bulk_load([document])  # collects statistics at shred time
+    store.db.execute("ANALYZE")
+    store.db.commit()
+
+    heuristic_passes = tuple(
+        name
+        for name in DEFAULT_PASS_NAMES
+        if not name.startswith("costed-")
+    )
+    heuristic = PPFEngine(
+        store, passes=heuristic_passes, result_cache_size=None
+    )
+    costed = PPFEngine(store, result_cache_size=None)
+
+    per_query = []
+    totals = {"heuristic": 0.0, "costed": 0.0}
+    join_order_totals = {"heuristic": 0.0, "costed": 0.0}
+    join_order_qids = []
+    q_errors = []
+    for query in queries:
+        heuristic_seconds, count, costed_seconds, costed_count = (
+            _time_interleaved(heuristic, costed, query.xpath, repeats)
+        )
+        if count != costed_count:
+            raise AssertionError(
+                f"{query.qid}: costed pipeline changed the result "
+                f"({costed_count} rows vs {count})"
+            )
+        translation = costed.translate(query.xpath)
+        fired = [
+            name
+            for name in translation.fired_passes()
+            if name.startswith("costed-")
+        ]
+        estimated = translation.estimated_rows
+        q_error = None
+        if estimated is not None:
+            q_error = max(estimated, 1.0) / max(float(count), 1.0)
+            q_error = round(max(q_error, 1.0 / q_error), 3)
+            q_errors.append(q_error)
+        totals["heuristic"] += heuristic_seconds
+        totals["costed"] += costed_seconds
+        if "costed-join-order" in fired:
+            join_order_qids.append(query.qid)
+            join_order_totals["heuristic"] += heuristic_seconds
+            join_order_totals["costed"] += costed_seconds
+        per_query.append(
+            {
+                "qid": query.qid,
+                "xpath": query.xpath,
+                "heuristic_seconds": round(heuristic_seconds, 6),
+                "costed_seconds": round(costed_seconds, 6),
+                "speedup": round(
+                    heuristic_seconds / max(costed_seconds, 1e-9), 3
+                ),
+                "fired_costed_passes": fired,
+                "estimated_rows": (
+                    round(estimated, 3) if estimated is not None else None
+                ),
+                "actual_rows": count,
+                "q_error": q_error,
+            }
+        )
+
+    return {
+        "note": "same store and statistics for both pipelines; the "
+        "heuristic pipeline drops the three costed-* passes",
+        "workload": "xpathmark + xpathmark-a",
+        "scale": scale,
+        "repeats": repeats,
+        "heuristic_passes": list(heuristic_passes),
+        "queries": per_query,
+        "summary": {
+            "heuristic_total_seconds": round(totals["heuristic"], 6),
+            "costed_total_seconds": round(totals["costed"], 6),
+            "overall_speedup": round(
+                totals["heuristic"] / max(totals["costed"], 1e-9), 3
+            ),
+            "join_order_sensitive_qids": join_order_qids,
+            "join_order_speedup": (
+                round(
+                    join_order_totals["heuristic"]
+                    / max(join_order_totals["costed"], 1e-9),
+                    3,
+                )
+                if join_order_qids
+                else None
+            ),
+            "median_q_error": (
+                round(statistics.median(q_errors), 3) if q_errors else None
+            ),
+            "max_q_error": round(max(q_errors), 3) if q_errors else None,
         },
     }
 

@@ -6,6 +6,7 @@
     python -m repro query  store.db "//item[@id='item0']"
     python -m repro explain store.db "//keyword/ancestor::listitem"
     python -m repro info   store.db
+    python -m repro stats  store.db --collect --top 5
     python -m repro shard create store/ doc1.xml --shards 4
     python -m repro query  store/ "//item" --shards 4
     python -m repro bench  --workload xmark --scale 8
@@ -219,6 +220,7 @@ def cmd_shard(args: argparse.Namespace) -> int:
                     f"shard {entry.shard} "
                     f"({document.element_count()} elements)"
                 )
+            store.analyze()
         return 0
     store = ShardedStore.open(args.directory)
     with store:
@@ -227,6 +229,17 @@ def cmd_shard(args: argparse.Namespace) -> int:
             print(f"documents:  {store.document_count()}")
             print(f"elements:   {store.total_elements()}")
             print(f"generation: {store.generation}")
+            staleness = store.statistics_staleness()
+            if any(staleness):
+                stale = ", ".join(
+                    str(i) for i, s in enumerate(staleness) if s
+                )
+                print(
+                    f"statistics: STALE on shard(s) {stale} "
+                    f"(refresh with ShardedStore.analyze)"
+                )
+            else:
+                print("statistics: fresh on all shards")
             for entry in store.doc_entries:
                 print(
                     f"  doc {entry.doc_id:>4} {entry.name!r:<30} "
@@ -246,9 +259,14 @@ def cmd_shard(args: argparse.Namespace) -> int:
 
 def cmd_explain(args: argparse.Namespace) -> int:
     """``repro explain`` — print the generated SQL (and, with
-    ``--plan``, the optimized logical plan and per-pass report)."""
+    ``--plan``, the optimized logical plan and per-pass report; with
+    ``--costs``, estimated vs. actual row counts)."""
     store = _open_store(args.database)
-    report = PPFEngine(store).explain(args.xpath)
+    engine = PPFEngine(store)
+    if getattr(args, "costs", False):
+        report = engine.explain_costs(args.xpath)
+    else:
+        report = engine.explain(args.xpath)
     if getattr(args, "plan", False):
         print("-- logical plan:")
         print(report.plan_text())
@@ -265,6 +283,45 @@ def cmd_explain(args: argparse.Namespace) -> int:
             print(f"-- plan stats: {changed or 'unchanged'}")
         print("-- SQL:")
     print(report)
+    if getattr(args, "costs", False):
+        print("-- costs:")
+        for line in report.cost_lines():
+            print(f"  {line}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats`` — the collected path summary feeding the costed
+    optimizer passes: totals, staleness, and the fattest paths."""
+    store = _open_store(args.database)
+    if args.collect:
+        store.collect_statistics()
+        store.db.commit()
+    summary = store.path_summary()
+    if summary is None:
+        print(
+            "no statistics collected "
+            "(run `repro stats DB --collect`, or bulk-load documents)"
+        )
+        return 1
+    stale = store.statistics_stale
+    print(f"stats version: epoch {summary.version[0]} "
+          f"at generation {summary.version[1]}")
+    print(f"staleness:     "
+          f"{'STALE (store mutated since refresh)' if stale else 'fresh'}")
+    print(f"documents:     {summary.document_count}")
+    print(f"elements:      {summary.total_elements}")
+    print(f"paths:         {summary.path_count}")
+    print("relations:")
+    for table in sorted(summary.relation_counts):
+        print(f"  {table:<20} {summary.relation_counts[table]:>8} rows")
+    print(f"top {args.top} paths by element count:")
+    for entry in summary.top_paths(args.top):
+        print(
+            f"  {entry.path:<40} {entry.element_count:>8} elems  "
+            f"{entry.doc_count:>4} doc(s)  "
+            f"value ratio {entry.value_ratio:.2f}"
+        )
     return 0
 
 
@@ -529,11 +586,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the optimized logical plan and which "
         "optimizer passes fired",
     )
+    explain.add_argument(
+        "--costs",
+        action="store_true",
+        help="also run the query and print estimated vs. actual row "
+        "counts per union branch",
+    )
     explain.set_defaults(handler=cmd_explain)
 
     info = commands.add_parser("info", help="store statistics")
     info.add_argument("database")
     info.set_defaults(handler=cmd_info)
+
+    stats = commands.add_parser(
+        "stats",
+        help="path summary feeding the cost-based optimizer passes",
+    )
+    stats.add_argument("database")
+    stats.add_argument(
+        "--collect",
+        action="store_true",
+        help="(re)collect the summary before printing it",
+    )
+    stats.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many of the fattest paths to list (default 10)",
+    )
+    stats.set_defaults(handler=cmd_stats)
 
     bench = commands.add_parser("bench", help="run the paper comparison")
     bench.add_argument("--workload", choices=["xmark", "dblp"],

@@ -36,6 +36,7 @@ from repro.plan.nodes import (
     RawCond,
 )
 from repro.sqlgen import string_literal
+from repro.stats.summary import PathSummary
 from repro.storage.edge import EdgeStore
 from repro.storage.schema_aware import RelationInfo, ShreddedStore
 from repro.xpath.ast import Step
@@ -147,6 +148,23 @@ class SchemaAwareAdapter(StoreAdapter):
         #: `Paths`) — the Section 4.5 ablation switch, implemented by
         #: removing the elimination pass from the default pipeline.
         self.path_filter_optimization = path_filter_optimization
+
+    @property
+    def path_summary(self) -> "Optional[PathSummary]":
+        """The store's collected statistics, consulted by the costed
+        optimizer passes (``None`` until the store has collected
+        statistics).  Duck-typed because this adapter also fronts
+        :class:`~repro.serving.shards.ShardedStore` (which merges its
+        per-shard summaries)."""
+        accessor = getattr(self.store, "path_summary", None)
+        return accessor() if callable(accessor) else None
+
+    @property
+    def stats_version(self) -> Optional[tuple[int, int]]:
+        """``(epoch, generation)`` of the statistics the costed passes
+        would consult, for cache fingerprints (``None`` when no
+        statistics exist)."""
+        return getattr(self.store, "stats_version", None)
 
     # -- name resolution -----------------------------------------------------
 

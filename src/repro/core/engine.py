@@ -53,6 +53,15 @@ class ExplainReport(str):
     pass run), ``fired`` (names of passes that changed the plan), and
     ``stats_before`` / ``stats_after`` (plan statistics around the
     pipeline).
+
+    Cost-model attributes (``explain --costs``): ``estimated_rows`` /
+    ``branch_estimates`` carry the cardinality estimates computed from
+    the store's path summary (``None`` without collected statistics),
+    ``stats_version`` the ``(epoch, generation)`` the estimates came
+    from.  ``actual_rows`` / ``branch_actual`` stay ``None`` until
+    :meth:`SQLXPathEngine.explain_costs` executes the statement and
+    fills them in (``branch_actual`` counts raw per-branch rows before
+    the union-level dedup; ``actual_rows`` is the final result size).
     """
 
     plan: Optional[QueryPlan]
@@ -60,6 +69,11 @@ class ExplainReport(str):
     fired: list[str]
     stats_before: Optional[dict[str, int]]
     stats_after: Optional[dict[str, int]]
+    estimated_rows: Optional[float]
+    branch_estimates: Optional[tuple[float, ...]]
+    stats_version: Optional[tuple[int, int]]
+    actual_rows: Optional[int]
+    branch_actual: Optional[tuple[int, ...]]
 
     @classmethod
     def from_translation(
@@ -71,6 +85,11 @@ class ExplainReport(str):
         report.fired = translation.fired_passes()
         report.stats_before = translation.plan_stats_before
         report.stats_after = translation.plan_stats_after
+        report.estimated_rows = translation.estimated_rows
+        report.branch_estimates = translation.branch_estimates
+        report.stats_version = translation.stats_version
+        report.actual_rows = None
+        report.branch_actual = None
         return report
 
     def plan_text(self) -> str:
@@ -78,6 +97,32 @@ class ExplainReport(str):
         if self.plan is None:
             return "(no plan available)"
         return describe_plan(self.plan)
+
+    def cost_lines(self) -> list[str]:
+        """Human-readable estimated-vs-actual lines for the CLI."""
+        if self.estimated_rows is None:
+            return ["(no statistics collected; run `repro analyze`)"]
+        lines = []
+        total_actual = (
+            "?" if self.actual_rows is None else str(self.actual_rows)
+        )
+        lines.append(
+            f"total: estimated ~{self.estimated_rows:.1f} rows, "
+            f"actual {total_actual}"
+        )
+        estimates = self.branch_estimates or ()
+        for index, estimate in enumerate(estimates):
+            actual = (
+                "?"
+                if self.branch_actual is None
+                or index >= len(self.branch_actual)
+                else str(self.branch_actual[index])
+            )
+            lines.append(
+                f"branch {index}: estimated ~{estimate:.1f} rows, "
+                f"actual {actual}"
+            )
+        return lines
 
 
 @dataclass(frozen=True)
@@ -200,6 +245,11 @@ class SQLXPathEngine:
 
     _CACHE_LIMIT = 256
 
+    #: Estimated-rows floor under which :meth:`execute_parallel`
+    #: declines to fan out (thread/connection handoff costs more than a
+    #: small query saves).  Only consulted when statistics exist.
+    parallel_min_rows: float = 64.0
+
     def __init__(self, store, translator: PPFTranslator,
                  fallback: bool = False,
                  result_cache_size: int | None = 128,
@@ -213,7 +263,7 @@ class SQLXPathEngine:
         #: :class:`~repro.errors.PlanVerificationError` instead of
         #: running bad SQL.
         self.verify_plans = verify_plans
-        self._translation_cache: OrderedDict[str, TranslationResult] = (
+        self._translation_cache: OrderedDict[tuple, TranslationResult] = (
             OrderedDict()
         )
         self._cache_hits = 0
@@ -243,28 +293,35 @@ class SQLXPathEngine:
         self._pool = None
 
     def translate(self, expression: Union[str, XPathExpr]) -> TranslationResult:
-        """Translate without executing (cached for string expressions)."""
+        """Translate without executing (cached for string expressions).
+
+        The cache key includes the translator fingerprint — which in
+        turn includes the store's statistics version — so refreshed
+        statistics (a new cost-model input) can never serve a plan
+        built against the old summary."""
         if not isinstance(expression, str):
             translated = self.translator.translate(expression)
             if self.verify_plans:
                 self._verify_translation(translated)
             return translated
+        key = (expression, self.translator.fingerprint)
         with self._lock:
-            cached = self._translation_cache.get(expression)
+            cached = self._translation_cache.get(key)
             if cached is not None:
                 self._cache_hits += 1
-                self._translation_cache.move_to_end(expression)
+                self._translation_cache.move_to_end(key)
                 return cached
             self._cache_misses += 1
-        # Translate outside the lock: it only reads the (static) schema,
-        # and two threads translating the same novel expression just
-        # produce equal results.
+        # Translate outside the lock: it only reads the schema and the
+        # statistics snapshot pinned by the cache key, and two threads
+        # translating the same novel expression just produce equal
+        # results.
         translated = self.translator.translate(expression)
         if self.verify_plans:
             self._verify_translation(translated)
         with self._lock:
-            self._translation_cache[expression] = translated
-            self._translation_cache.move_to_end(expression)
+            self._translation_cache[key] = translated
+            self._translation_cache.move_to_end(key)
             while len(self._translation_cache) > self._CACHE_LIMIT:
                 self._translation_cache.popitem(last=False)
         return translated
@@ -351,6 +408,35 @@ class SQLXPathEngine:
         plan, which optimizer passes fired, and plan statistics before
         and after the pass pipeline."""
         return ExplainReport.from_translation(self.translate(expression))
+
+    def explain_costs(
+        self, expression: Union[str, XPathExpr]
+    ) -> ExplainReport:
+        """Like :meth:`explain`, but also *executes* the statement —
+        branch by branch for a UNION — and fills in ``actual_rows`` /
+        ``branch_actual`` next to the cost model's estimates, so
+        estimation error is visible per plan node."""
+        translation = self.translate(expression)
+        report = ExplainReport.from_translation(translation)
+        if translation.is_empty:
+            report.actual_rows = 0
+            report.branch_actual = ()
+            return report
+        statement = translation.statement
+        branches = (
+            list(statement.branches)
+            if isinstance(statement, UnionStatement)
+            else [statement]
+        )
+        raws = [
+            self._run_sql(render_statement(branch)) for branch in branches
+        ]
+        report.branch_actual = tuple(len(raw) for raw in raws)
+        merged = self._materialize(
+            translation, [record for raw in raws for record in raw]
+        )
+        report.actual_rows = len(merged)
+        return report
 
     def query_plan(self, expression: Union[str, XPathExpr]) -> list[str]:
         """SQLite's EXPLAIN QUERY PLAN detail for the translated SQL
@@ -504,7 +590,13 @@ class SQLXPathEngine:
         multi-branch UNION (Section 4.4 SQL splitting) and a pool is
         attached, the branches — independent SELECTs by construction —
         run concurrently on separate pooled connections and merge into
-        the usual document-ordered result."""
+        the usual document-ordered result.
+
+        When statistics exist, the fan-out is additionally cost-gated:
+        a query whose estimated result is below
+        :attr:`parallel_min_rows` runs on the single-connection path —
+        for tiny results the thread/connection handoff costs more than
+        the overlap saves."""
         translation = self.translate(expression)
         if translation.is_empty:
             return QueryResult([], translation.projection)
@@ -514,6 +606,9 @@ class SQLXPathEngine:
             else []
         )
         if self._pool is None or max_workers <= 1 or len(branches) < 2:
+            return self.execute(expression)
+        estimated = getattr(translation, "estimated_rows", None)
+        if estimated is not None and estimated < self.parallel_min_rows:
             return self.execute(expression)
         key = self._result_key(expression)
         if key is not None:

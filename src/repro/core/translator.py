@@ -32,6 +32,7 @@ from repro.errors import TranslationError
 # which package is entered first, a plan module may still be mid-
 # initialization when this module loads.  Deferring attribute access to
 # runtime keeps every import order valid.
+import repro.plan.cost as _cost
 import repro.plan.lowering as _lowering
 import repro.plan.nodes as _nodes
 import repro.plan.passes as _passes
@@ -58,6 +59,14 @@ class TranslationResult:
     #: Plan statistics before/after the pass pipeline ran.
     plan_stats_before: Optional[dict[str, int]] = None
     plan_stats_after: Optional[dict[str, int]] = None
+    #: Estimated result rows from the cost model (``None`` when the
+    #: store has no collected statistics).
+    estimated_rows: Optional[float] = None
+    #: Per-branch estimates, in the statement's branch order.
+    branch_estimates: Optional[tuple[float, ...]] = None
+    #: ``(epoch, generation)`` of the statistics used, for staleness
+    #: display in ``explain --costs``.
+    stats_version: Optional[tuple[int, int]] = None
 
     @property
     def sql(self) -> str:
@@ -158,13 +167,18 @@ class PPFTranslator:
 
     @property
     def fingerprint(self) -> tuple[object, ...]:
-        """Cache key component: everything that shapes the emitted SQL."""
+        """Cache key component: everything that shapes the emitted SQL.
+
+        Includes the adapter's statistics version: the costed passes
+        read the path summary, so a plan cached under stale statistics
+        must not survive a statistics refresh."""
         return (
             self.dialect.name,
             self.pass_names,
             self.prefer_fk_joins,
             self.split_every_step,
             self.use_path_index,
+            getattr(self.adapter, "stats_version", None),
         )
 
     def translate(
@@ -184,11 +198,21 @@ class PPFTranslator:
         text = expression if isinstance(expression, str) else str(ast)
         plan = self._planner.plan(ast, text)
         stats_before = _nodes.plan_stats(plan)
+        summary = getattr(self.adapter, "path_summary", None)
         context = _passes.PassContext(
-            marking=getattr(self.adapter, "marking", None)
+            marking=getattr(self.adapter, "marking", None),
+            summary=summary,
         )
         plan, reports = self._pipeline.run(plan, context)
         stats_after = _nodes.plan_stats(plan)
+        estimated_rows: Optional[float] = None
+        branch_estimates: Optional[tuple[float, ...]] = None
+        if summary is not None:
+            estimate = _cost.CardinalityEstimator(summary).estimate_plan(
+                plan
+            )
+            estimated_rows = estimate.total_rows
+            branch_estimates = estimate.branch_rows
         return TranslationResult(
             _lowering.lower_plan(plan, self.dialect),
             plan.projection,
@@ -197,4 +221,7 @@ class PPFTranslator:
             pass_reports=reports,
             plan_stats_before=stats_before,
             plan_stats_after=stats_after,
+            estimated_rows=estimated_rows,
+            branch_estimates=branch_estimates,
+            stats_version=getattr(self.adapter, "stats_version", None),
         )

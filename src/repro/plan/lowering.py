@@ -75,6 +75,11 @@ def lower_condition(
         if condition.mode == "equality":
             assert condition.literal is not None
             return Raw(dialect.path_equality(expression, condition.literal))
+        if condition.mode == "in":
+            assert condition.literals
+            return Raw(
+                dialect.path_membership(expression, condition.literals)
+            )
         pattern = compile_pattern(
             list(condition.pattern), condition.anchored
         )

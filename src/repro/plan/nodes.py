@@ -123,10 +123,13 @@ class PathFilterCond(PlanCond):
 
     The planner always emits these in ``regex`` mode with the raw
     pattern steps attached (Algorithm 1 followed literally); the
-    Section 4.5 elimination pass may drop the node entirely and the
+    Section 4.5 elimination pass may drop the node entirely, the
     regex→equality pass may switch it to ``equality`` mode with a
-    ``literal`` payload.  ``names`` is the candidate's covered element
-    names (``None`` in the schema-oblivious mapping).
+    ``literal`` payload, and the costed access-strategy pass may switch
+    it to ``in`` mode with the enumerated ``literals`` (a small set of
+    schema-complete root paths, chosen over a regex scan by estimated
+    selectivity).  ``names`` is the candidate's covered element names
+    (``None`` in the schema-oblivious mapping).
     """
 
     alias: str
@@ -134,11 +137,17 @@ class PathFilterCond(PlanCond):
     pattern: tuple["PatternStep", ...]
     anchored: bool
     names: Optional[frozenset[str]] = None
-    mode: str = "regex"  #: ``regex`` or ``equality``
+    mode: str = "regex"  #: ``regex``, ``equality`` or ``in``
     literal: Optional[str] = None
+    literals: Optional[tuple[str, ...]] = None
 
     def brief(self) -> str:
-        shape = self.literal if self.mode == "equality" else "~regex"
+        if self.mode == "equality":
+            shape: str = self.literal or "?"
+        elif self.mode == "in":
+            shape = f"in[{len(self.literals or ())}]"
+        else:
+            shape = "~regex"
         return f"path-filter {self.paths_alias} {shape}"
 
 

@@ -35,6 +35,33 @@ The shipped passes (in default order):
     SQL splitting (Section 4.4) can emit structurally identical branches
     — e.g. ``//C | /A/B/C`` after filter elimination — which are
     detected by alias-canonical fingerprinting and merged.
+
+``costed-access-strategy``
+    Statistics-driven replacement of the static Table 3 rule: a regex
+    filter whose candidates enumerate a *small* set of root paths
+    (relative to the estimated `Paths` table size) becomes a path
+    equality (one path) or an ``IN`` membership test (a few paths)
+    instead of a per-row regex scan.  Schema-complete enumeration keeps
+    the rewrite semantics-preserving; the summary only decides *when*
+    it pays off.
+
+``costed-join-order``
+    Structural-join reordering, smallest estimated input first: scans
+    are grouped with their `Paths` companions and greedily reordered by
+    estimated cardinality, preserving every structural join's binding
+    orientation (CROSS JOIN order is SQLite's nested-loop order, so a
+    Dewey range probe must keep its probe side inner) and join-graph
+    connectivity.  Each applied reorder records a
+    :class:`ReorderWitness` for the PV008 verifier invariant.
+
+``costed-union-order``
+    Orders UNION branches largest-estimate first, so
+    ``execute_parallel`` schedules the long poles early (UNION output
+    is order-insensitive: results are deduped and globally re-sorted).
+
+The three costed passes consult :attr:`PassContext.summary` and keep
+quiet when no statistics were collected, so every pass combination
+stays sound on stats-less stores.
 """
 
 from __future__ import annotations
@@ -63,6 +90,7 @@ from repro.plan.nodes import (
     PlanUnion,
     QueryPlan,
     RawCond,
+    Scan,
     StructuralCond,
     TrueCond,
     child_subplans,
@@ -71,7 +99,9 @@ from repro.plan.nodes import (
     iter_selects,
     rewrite_condition,
 )
+from repro.plan.cost import CardinalityEstimator
 from repro.schema.marking import PathClass, SchemaMarking
+from repro.stats.summary import PathSummary
 
 _COMPARATORS: dict[str, Callable[[float, float], bool]] = {
     "=": lambda a, b: a == b,
@@ -89,10 +119,14 @@ class PassContext:
 
     ``marking`` is the Section 4.5 schema marking (``None`` for the
     schema-oblivious Edge mapping, where no static path knowledge
-    exists and the marking-based passes keep quiet).
+    exists and the marking-based passes keep quiet).  ``summary`` is
+    the store's collected :class:`~repro.stats.summary.PathSummary`
+    (``None`` when statistics were never collected or the adapter has
+    none — the costed passes then keep quiet).
     """
 
     marking: Optional[SchemaMarking] = None
+    summary: Optional[PathSummary] = None
 
 
 @dataclass(frozen=True)
@@ -117,6 +151,27 @@ class EliminationWitness:
     matched_paths: tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class ReorderWitness:
+    """The evidence justifying one cost-based reorder.
+
+    Every ``costed-join-order`` / ``costed-union-order`` decision
+    records one witness so the static verifier's PV008 invariant can
+    re-derive the claim: ``before``/``after`` list the reordered items
+    as ``(table, alias)`` pairs (scan order) or ``(index, signature)``
+    pairs (union-branch order), ``ordered_pairs`` lists the alias pairs
+    whose relative order the reorder was required to preserve (the
+    structural joins' binding orientations), and ``estimates`` carries
+    the per-item cardinality estimates in ``after`` order.
+    """
+
+    kind: str  #: ``join-order`` or ``union-order``
+    before: tuple[tuple[str, str], ...]
+    after: tuple[tuple[str, str], ...]
+    ordered_pairs: tuple[tuple[str, str], ...] = ()
+    estimates: tuple[float, ...] = ()
+
+
 @dataclass
 class PassReport:
     """What one pass did to one plan."""
@@ -128,6 +183,9 @@ class PassReport:
     #: One :class:`EliminationWitness` per Section 4.5 rewrite (only the
     #: ``paths-join-elimination`` pass records these).
     witnesses: tuple[EliminationWitness, ...] = ()
+    #: One :class:`ReorderWitness` per cost-based reorder (only the
+    #: ``costed-join-order``/``costed-union-order`` passes record these).
+    reorders: tuple[ReorderWitness, ...] = ()
 
     def summary(self) -> str:
         """``name: detail`` line for CLI output."""
@@ -538,7 +596,8 @@ def _fingerprint_cond(cond: PlanCond) -> str:
         names = sorted(cond.names) if cond.names is not None else None
         return (
             f"pathfilter({cond.alias};{cond.paths_alias};{cond.mode};"
-            f"{cond.literal!r};{cond.anchored};{cond.pattern!r};{names})"
+            f"{cond.literal!r};{cond.literals!r};{cond.anchored};"
+            f"{cond.pattern!r};{names})"
         )
     # Remaining leaves fully describe themselves in their brief() line.
     return cond.brief()
@@ -589,6 +648,295 @@ def _pass_dedup_union_branches(
 
 
 # ---------------------------------------------------------------------------
+# pass: costed-access-strategy (statistics-driven Table 3)
+# ---------------------------------------------------------------------------
+
+#: Hard cap on the IN-list length the access-strategy pass will emit.
+_IN_LIMIT = 8
+#: The enumerated path set must cover at most this fraction of the
+#: estimated `Paths` table for membership probing to beat a regex scan.
+_IN_FRACTION = 0.25
+
+
+def _pass_costed_access_strategy(
+    plan: QueryPlan, context: PassContext
+) -> PassReport:
+    name = "costed-access-strategy"
+    summary = context.summary
+    marking = context.marking
+    if summary is None:
+        return PassReport(name, False, 0, "no statistics collected")
+    if marking is None:
+        return PassReport(name, False, 0, "no schema marking available")
+    path_rows = max(summary.path_count, 1)
+    converted = 0
+
+    def convert(cond: PlanCond) -> PlanCond:
+        nonlocal converted
+        if not isinstance(cond, PathFilterCond) or cond.mode != "regex":
+            return cond
+        if cond.names is None:
+            return cond
+        if any(
+            marking.classify(n) is PathClass.INFINITE for n in cond.names
+        ):
+            return cond
+        any_match, _needed, matched = _filter_analysis(cond, marking)
+        if not any_match or not matched:
+            return cond  # the elimination pass's business, not ours
+        # Schema-complete enumeration: `matched` is exactly the set of
+        # `Paths` rows the regex can accept among the filter's candidate
+        # labels, so equality/IN against it is semantics-preserving.
+        # The summary only decides whether k indexed membership probes
+        # beat one regex evaluation per `Paths` row.
+        k = len(matched)
+        if k > _IN_LIMIT or k > path_rows * _IN_FRACTION:
+            return cond
+        if k == 1:
+            cond.mode = "equality"
+            cond.literal = next(iter(matched))
+        else:
+            cond.mode = "in"
+            cond.literals = tuple(sorted(matched))
+        converted += 1
+        return cond
+
+    for select in iter_selects(plan):
+        select.where = _rewrap(rewrite_condition(select.where, convert))
+    detail = (
+        f"replaced {converted} regex scan(s) with equality/IN probes "
+        f"(~{path_rows}-row Paths table)"
+        if converted
+        else "regex scans remain the cheapest access strategy"
+    )
+    return PassReport(name, converted > 0, converted, detail)
+
+
+# ---------------------------------------------------------------------------
+# pass: costed-join-order (smallest estimated input first)
+# ---------------------------------------------------------------------------
+
+#: Minimum factor by which the new leading scan's estimate must beat the
+#: current one before a reorder is worth the plan churn.
+_REORDER_FACTOR = 2.0
+
+
+def _scan_groups(
+    select: LogicalSelect,
+) -> Optional[list[tuple[Scan, list[Scan]]]]:
+    """Group each element scan with its linked `Paths` scans, in the
+    select's current scan order.  ``None`` when the shape is unexpected
+    (a `Paths` scan with no top-level link to a local element scan)."""
+    element_order = [s for s in select.scans if not s.is_paths]
+    groups: dict[str, list[Scan]] = {
+        s.alias: [] for s in element_order
+    }
+    owners: dict[str, str] = {}
+    for part in select.where.parts:
+        if isinstance(part, PathsLinkCond):
+            owners.setdefault(part.paths_alias, part.owner_alias)
+    for scan in select.scans:
+        if not scan.is_paths:
+            continue
+        owner = owners.get(scan.alias)
+        if owner is None or owner not in groups:
+            return None
+        groups[owner].append(scan)
+    return [(scan, groups[scan.alias]) for scan in element_order]
+
+
+def _condition_alias_pairs(
+    select: LogicalSelect,
+) -> tuple[list[tuple[str, str]], set[frozenset[str]]]:
+    """Binding-orientation constraints and the join graph of a select.
+
+    Returns ``(ordered, adjacency)``: ``ordered`` lists alias pairs
+    whose current relative scan order must be preserved — every
+    structural (Dewey) join, because CROSS JOIN order is the nested-loop
+    order and the probe side must stay inner — and ``adjacency`` holds
+    every two-alias join edge (structural, FK, doc-equality, relative
+    level), used to prefer connected orders.
+    """
+    local = {s.alias for s in select.scans}
+    ordered: list[tuple[str, str]] = []
+    adjacency: set[frozenset[str]] = set()
+
+    def edge(a: str, b: str) -> None:
+        if a in local and b in local and a != b:
+            adjacency.add(frozenset((a, b)))
+
+    for part in select.where.parts:
+        if isinstance(part, StructuralCond):
+            a, b = part.context_alias, part.target_alias
+            edge(a, b)
+            if a in local and b in local and a != b:
+                ordered.append((a, b))
+        elif isinstance(part, DocEqCond):
+            edge(part.left_alias, part.right_alias)
+        elif isinstance(part, LevelCond):
+            if part.base_alias is not None:
+                edge(part.alias, part.base_alias)
+        elif isinstance(part, RawCond):
+            refs = set(_RAW_ALIAS_REF.findall(part.sql))
+            refs &= local
+            if len(refs) == 2:
+                first, second = sorted(refs)
+                edge(first, second)
+    return ordered, adjacency
+
+
+_RAW_ALIAS_REF = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\.")
+
+
+def _reorder_select(
+    select: LogicalSelect, estimator: CardinalityEstimator
+) -> Optional[ReorderWitness]:
+    """Reorder one select's scans smallest-estimate-first, or ``None``.
+
+    Greedy: among the element-scan groups whose ordering predecessors
+    (from structural-join orientations) are already placed, prefer ones
+    joined to an already-placed scan, and pick the smallest estimate.
+    The result is applied only when it changes the order AND the new
+    leading scan beats the old one by :data:`_REORDER_FACTOR`.
+    """
+    groups = _scan_groups(select)
+    if groups is None or len(groups) < 2:
+        return None
+    ordered, adjacency = _condition_alias_pairs(select)
+    aliases = [scan.alias for scan, _ in groups]
+    estimates = {
+        scan.alias: estimator.scan_rows(select, scan)
+        for scan, _ in groups
+    }
+    predecessors: dict[str, set[str]] = {a: set() for a in aliases}
+    position = {a: i for i, a in enumerate(aliases)}
+    for a, b in ordered:
+        first, second = (a, b) if position[a] < position[b] else (b, a)
+        predecessors[second].add(first)
+    placed: set[str] = set()
+    new_order: list[str] = []
+    remaining = list(aliases)
+    while remaining:
+        eligible = [
+            a for a in remaining if predecessors[a] <= placed
+        ]
+        if not eligible:  # pragma: no cover - orientation cycles can't occur
+            eligible = list(remaining)
+        connected = [
+            a
+            for a in eligible
+            if not placed
+            or any(frozenset((a, p)) in adjacency for p in placed)
+        ]
+        pool = connected or eligible
+        pick = min(pool, key=lambda a: (estimates[a], position[a]))
+        new_order.append(pick)
+        placed.add(pick)
+        remaining.remove(pick)
+    if new_order == aliases:
+        return None
+    if estimates[aliases[0]] < _REORDER_FACTOR * estimates[new_order[0]]:
+        return None
+    before = tuple((s.table, s.alias) for s in select.scans)
+    by_alias = {scan.alias: (scan, paths) for scan, paths in groups}
+    scans: list[Scan] = []
+    for alias in new_order:
+        scan, paths = by_alias[alias]
+        scans.append(scan)
+        scans.extend(paths)
+    select.scans = scans
+    return ReorderWitness(
+        kind="join-order",
+        before=before,
+        after=tuple((s.table, s.alias) for s in select.scans),
+        ordered_pairs=tuple(ordered),
+        estimates=tuple(estimates[a] for a in new_order),
+    )
+
+
+def _pass_costed_join_order(
+    plan: QueryPlan, context: PassContext
+) -> PassReport:
+    name = "costed-join-order"
+    summary = context.summary
+    if summary is None:
+        return PassReport(name, False, 0, "no statistics collected")
+    estimator = CardinalityEstimator(summary)
+    witnesses: list[ReorderWitness] = []
+    for select in iter_selects(plan):
+        witness = _reorder_select(select, estimator)
+        if witness is not None:
+            witnesses.append(witness)
+    detail = (
+        f"reordered scans in {len(witnesses)} select(s), "
+        "smallest estimated input first"
+        if witnesses
+        else "every select already leads with its smallest input"
+    )
+    return PassReport(
+        name,
+        bool(witnesses),
+        len(witnesses),
+        detail,
+        reorders=tuple(witnesses),
+    )
+
+
+# ---------------------------------------------------------------------------
+# pass: costed-union-order (long poles first)
+# ---------------------------------------------------------------------------
+
+
+def _branch_signature(branch: LogicalSelect) -> str:
+    if branch.scans:
+        scan = branch.scans[0]
+        return f"{scan.table} {scan.alias}"
+    return "<no scans>"
+
+
+def _pass_costed_union_order(
+    plan: QueryPlan, context: PassContext
+) -> PassReport:
+    name = "costed-union-order"
+    summary = context.summary
+    if summary is None:
+        return PassReport(name, False, 0, "no statistics collected")
+    root = plan.root
+    if not isinstance(root, PlanUnion) or len(root.branches) < 2:
+        return PassReport(name, False, 0, "plan is not a multi-branch union")
+    estimator = CardinalityEstimator(summary)
+    estimates = [estimator.select_rows(b) for b in root.branches]
+    order = sorted(
+        range(len(root.branches)), key=lambda i: (-estimates[i], i)
+    )
+    if order == list(range(len(root.branches))):
+        return PassReport(
+            name, False, 0, "branches already run largest-estimate first"
+        )
+    witness = ReorderWitness(
+        kind="union-order",
+        before=tuple(
+            (str(i), _branch_signature(b))
+            for i, b in enumerate(root.branches)
+        ),
+        after=tuple(
+            (str(i), _branch_signature(root.branches[i])) for i in order
+        ),
+        estimates=tuple(estimates[i] for i in order),
+    )
+    root.branches = [root.branches[i] for i in order]
+    return PassReport(
+        name,
+        True,
+        1,
+        "reordered union branches largest-estimate first "
+        "(UNION dedup + global ORDER BY make branch order irrelevant "
+        "to results)",
+        reorders=(witness,),
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry and pipeline
 # ---------------------------------------------------------------------------
 
@@ -598,6 +946,9 @@ PASSES: dict[str, Callable[[QueryPlan, PassContext], PassReport]] = {
     "regex-to-equality": _pass_regex_to_equality,
     "prune-distinct-order": _pass_prune_distinct_order,
     "dedup-union-branches": _pass_dedup_union_branches,
+    "costed-access-strategy": _pass_costed_access_strategy,
+    "costed-join-order": _pass_costed_join_order,
+    "costed-union-order": _pass_costed_union_order,
 }
 
 #: All passes, in the order the default pipeline runs them.

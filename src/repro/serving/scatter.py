@@ -84,6 +84,12 @@ class ServingConfig:
     #: Seconds a shard may stay silent before a hedged duplicate request
     #: goes to a second replica (``None`` disables hedging).
     hedge_delay: Optional[float] = 0.05
+    #: Cost-model gate on hedging: a query whose estimated result is
+    #: below this many rows skips hedged duplicates (a cheap query's
+    #: tail latency is dominated by the duplicate's own overhead, not
+    #: by stragglers).  Only consulted when the store has collected
+    #: statistics; estimate-less queries hedge as before.
+    hedge_min_rows: float = 16.0
     #: Extra attempts per shard after the first failed/crashed one.
     shard_retries: int = 1
     #: Maximum queries in flight; the admission queue rejects beyond it.
@@ -391,7 +397,10 @@ class ShardedEngine:
                     # breaker, per-item error): the per-shard ladder
                     # takes over with the remaining deadline.
                     outcome = self._query_shard(
-                        shard, translation.sql, expiry
+                        shard,
+                        translation.sql,
+                        expiry,
+                        hedge=self._hedge_allowed(translation),
                     )
                 outcomes.append(outcome)
             failures = [o for o in outcomes if not o.ok]
@@ -482,10 +491,11 @@ class ShardedEngine:
         budget = deadline if deadline is not None else self.config.deadline
         expiry = time.monotonic() + budget if budget is not None else None
         shard_count = self.store.shard_count
+        hedge = self._hedge_allowed(translation)
         outcomes = list(
             self._scatter.map(
                 lambda shard: self._query_shard(
-                    shard, translation.sql, expiry
+                    shard, translation.sql, expiry, hedge=hedge
                 ),
                 range(shard_count),
             )
@@ -502,12 +512,29 @@ class ShardedEngine:
             self._count("partials")
         return result
 
+    def _hedge_allowed(self, translation: object) -> bool:
+        """Costed hedge gate: a query whose estimated result is below
+        ``config.hedge_min_rows`` skips hedged duplicates — statistics
+        never change which rows come back, only the duplicate-request
+        policy.  Estimate-less translations (no statistics collected)
+        hedge as before."""
+        estimated = getattr(translation, "estimated_rows", None)
+        if estimated is None:
+            return True
+        return bool(estimated >= self.config.hedge_min_rows)
+
     # -- the per-shard ladder ----------------------------------------------------
 
     def _query_shard(
-        self, shard: int, sql: str, expiry: Optional[float]
+        self,
+        shard: int,
+        sql: str,
+        expiry: Optional[float],
+        hedge: bool = True,
     ) -> ShardOutcome:
-        """Run the hedge/retry rungs for one shard."""
+        """Run the hedge/retry rungs for one shard.  ``hedge=False``
+        disables hedged duplicates (the costed gate for cheap queries);
+        retries and breakers are unaffected."""
         outcome = ShardOutcome(shard)
         breaker = self._breakers[shard]
         if not breaker.allow():
@@ -539,7 +566,7 @@ class ShardedEngine:
             )
             primary = attempt % self.runtime.replicas
             response, kind = self._attempt(
-                shard, sql, primary, slice_budget, outcome
+                shard, sql, primary, slice_budget, outcome, hedge=hedge
             )
             if response is not None and response.get("ok"):
                 breaker.record_success()
@@ -567,6 +594,7 @@ class ShardedEngine:
         primary: int,
         budget: Optional[float],
         outcome: ShardOutcome,
+        hedge: bool = True,
     ) -> tuple[Optional[dict], str]:
         """One attempt: submit to ``primary``, hedge to the next replica
         after ``hedge_delay`` of silence, first response wins.
@@ -598,7 +626,8 @@ class ShardedEngine:
 
         hedge_at = (
             self.config.hedge_delay
-            if self.config.hedge_delay is not None
+            if hedge
+            and self.config.hedge_delay is not None
             and self.runtime.replicas > 1
             else None
         )

@@ -49,6 +49,7 @@ from repro.errors import ShardError, StorageError, StoreIntegrityError
 from repro.resilience.policy import ResiliencePolicy
 from repro.schema.marking import SchemaMarking
 from repro.schema.model import Schema
+from repro.stats.summary import PathSummary
 from repro.storage.database import Database
 from repro.storage.schema_aware import SchemaAwareMapping, ShreddedStore
 from repro.xmltree.nodes import Document
@@ -410,14 +411,104 @@ class ShardedStore:
         self._write_manifest()
         return removed
 
-    def analyze(self) -> None:
-        """Run ``ANALYZE`` on every shard so each shard's query planner
-        has statistics for its own slice of the corpus.  Call after a
-        large load, before serving."""
+    def analyze(self) -> list["PathSummary"]:
+        """Refresh every shard's statistics, then run ``ANALYZE``.
+
+        For each shard this recomputes and persists the path summary
+        (the costed optimizer passes' input), cross-checks the summary's
+        element total against the shard's stored documents, and finally
+        runs SQLite's own ``ANALYZE`` so both planners — ours and
+        SQLite's — see fresh statistics.  Call after a large load,
+        before serving.
+
+        :returns: the refreshed per-shard summaries, in shard order.
+        :raises StoreIntegrityError: when a recomputed summary
+            disagrees with the shard's document registry.
+        """
+        summaries: list[PathSummary] = []
         for index in range(self.shard_count):
             store = self.shard_store(index)
+            summary = store.collect_statistics()
+            expected = store.total_elements()
+            if summary.total_elements != expected:
+                raise StoreIntegrityError(
+                    f"shard {index} path summary counts "
+                    f"{summary.total_elements} element(s) but the shard "
+                    f"stores {expected}"
+                )
             store.db.execute("ANALYZE")
             store.db.commit()
+            summaries.append(summary)
+        return summaries
+
+    def statistics_staleness(self) -> list[bool]:
+        """Per-shard statistics staleness, in shard order (``True`` when
+        a shard has no summary or mutated since its last refresh)."""
+        return [
+            self.shard_store(index).statistics_stale
+            for index in range(self.shard_count)
+        ]
+
+    @property
+    def stats_version(self) -> tuple[int, int] | None:
+        """Store-level statistics version for cache fingerprints:
+        ``(sum of shard epochs, store generation)``, or ``None`` when
+        any shard has no summary (the merged summary is then
+        unavailable too).  An unreadable shard counts as "no summary"
+        rather than failing: statistics are advisory, and a corrupt
+        shard must surface through the serving ladder, not here."""
+        epochs = 0
+        for index in range(self.shard_count):
+            try:
+                version = self.shard_store(index).stats_version
+            except StorageError:
+                return None
+            if version is None:
+                return None
+            epochs += version[0]
+        return (epochs, self._generation)
+
+    def path_summary(self) -> PathSummary | None:
+        """Corpus-wide statistics: the per-shard summaries merged
+        (path/relation/document counts summed), or ``None`` when any
+        shard has no summary.  Shards share one schema, so summing
+        per-path counts is exact."""
+        version = self.stats_version
+        if version is None:
+            return None
+        from repro.stats.summary import PathStats
+
+        stats: dict[str, PathStats] = {}
+        relation_counts: dict[str, int] = {}
+        document_count = 0
+        for index in range(self.shard_count):
+            summary = self.shard_store(index).path_summary()
+            if summary is None:
+                return None
+            document_count += summary.document_count
+            for table, rows in summary.relation_counts.items():
+                relation_counts[table] = (
+                    relation_counts.get(table, 0) + rows
+                )
+            for path, entry in summary.stats.items():
+                previous = stats.get(path)
+                stats[path] = PathStats(
+                    path=path,
+                    element_count=(
+                        previous.element_count if previous else 0
+                    ) + entry.element_count,
+                    doc_count=(previous.doc_count if previous else 0)
+                    + entry.doc_count,
+                    value_count=(
+                        previous.value_count if previous else 0
+                    ) + entry.value_count,
+                )
+        return PathSummary(
+            version=version,
+            document_count=document_count,
+            relation_counts=relation_counts,
+            stats=stats,
+        )
 
     # -- fallback support ---------------------------------------------------------
 

@@ -67,6 +67,15 @@ class AnsiDialect:
         """Boolean SQL testing ``expression`` against a literal path."""
         return f"{expression} = {self.string_literal(path)}"
 
+    def path_membership(self, expression: str, paths: "tuple[str, ...]") -> str:
+        """Boolean SQL testing ``expression`` against a small literal
+        path set (the costed access-strategy's split between one
+        equality and a full regex scan)."""
+        if len(paths) == 1:
+            return self.path_equality(expression, paths[0])
+        rendered = ", ".join(self.string_literal(p) for p in paths)
+        return f"{expression} IN ({rendered})"
+
     # -- Dewey comparisons -------------------------------------------------
 
     def dewey_axis_condition(

@@ -1,0 +1,136 @@
+"""The :class:`PathSummary` value object and its per-path records.
+
+Everything here is immutable, pure-Python math over counts; collection
+and persistence against a store live in
+:mod:`repro.stats.maintenance`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Statistics for one root-to-node path of the `Paths` relation."""
+
+    path: str
+    #: Number of element rows carrying this ``path_id``.
+    element_count: int
+    #: Number of distinct documents containing the path.
+    doc_count: int
+    #: Number of those rows with a non-NULL stored text value.
+    value_count: int
+
+    @property
+    def value_ratio(self) -> float:
+        """Fraction of elements on this path carrying a text value."""
+        if self.element_count <= 0:
+            return 0.0
+        return self.value_count / self.element_count
+
+
+@dataclass(frozen=True)
+class StatsState:
+    """The versioning record persisted next to the per-path counts.
+
+    ``epoch`` increments on every statistics write; ``generation`` is
+    the store's mutation counter at the time of that write.  Statistics
+    are *stale* exactly when the recorded generation no longer matches
+    the store's — the cost model then keeps using them (safely: they
+    only steer performance), but ``repro shard info`` / ``repro stats``
+    surface the staleness and ``ShardedStore.analyze`` refreshes them.
+    """
+
+    epoch: int
+    generation: int
+    document_count: int
+    relation_counts: Mapping[str, int]
+
+    @property
+    def version(self) -> tuple[int, int]:
+        """The ``(epoch, generation)`` pair used in cache fingerprints."""
+        return (self.epoch, self.generation)
+
+
+@dataclass(frozen=True)
+class PathSummary:
+    """Per-path cardinalities of one store, plus relation row counts."""
+
+    #: ``(epoch, generation)`` at collection/refresh time.
+    version: tuple[int, int]
+    #: Number of loaded documents.
+    document_count: int
+    #: Row count per mapping relation (table name -> rows).
+    relation_counts: Mapping[str, int]
+    #: Per-path statistics, keyed by the path string.
+    stats: Mapping[str, PathStats] = field(default_factory=dict)
+
+    # -- totals -------------------------------------------------------------
+
+    @property
+    def total_elements(self) -> int:
+        """Total element rows across all paths."""
+        return sum(s.element_count for s in self.stats.values())
+
+    @property
+    def path_count(self) -> int:
+        """Number of distinct paths with at least one element."""
+        return len(self.stats)
+
+    def relation_count_for(self, table: str) -> Optional[int]:
+        """Row count of one mapping relation, if known."""
+        return self.relation_counts.get(table)
+
+    # -- per-path lookups ---------------------------------------------------
+
+    def count_for(self, path: str) -> int:
+        """Element count of one literal path (0 when absent)."""
+        stats = self.stats.get(path)
+        return stats.element_count if stats is not None else 0
+
+    def value_ratio(self, path: str) -> float:
+        """Value-presence ratio of one path (0.0 when absent)."""
+        stats = self.stats.get(path)
+        return stats.value_ratio if stats is not None else 0.0
+
+    # -- pattern matching ---------------------------------------------------
+
+    def matching_paths(self, pattern: "str | re.Pattern[str]") -> list[str]:
+        """Stored paths satisfying a Table 1 regex (``re.search``, the
+        exact semantics of the SQL ``regexp_like`` filter)."""
+        regex = re.compile(pattern) if isinstance(pattern, str) else pattern
+        return [p for p in self.stats if regex.search(p)]
+
+    def count_matching(self, pattern: "str | re.Pattern[str]") -> int:
+        """Total element count over the paths a regex matches."""
+        return sum(
+            self.count_for(p) for p in self.matching_paths(pattern)
+        )
+
+    # -- structure ----------------------------------------------------------
+
+    def child_fanout(self, path: str) -> float:
+        """Mean number of children per element of ``path``, derived
+        from the path strings themselves (the parent of ``/a/b/c`` is
+        ``/a/b``, so no extra bookkeeping is stored)."""
+        parent_count = self.count_for(path)
+        if parent_count <= 0:
+            return 0.0
+        prefix = path + "/"
+        children = sum(
+            s.element_count
+            for p, s in self.stats.items()
+            if p.startswith(prefix) and "/" not in p[len(prefix):]
+        )
+        return children / parent_count
+
+    def top_paths(self, k: int = 10) -> list[PathStats]:
+        """The ``k`` fattest paths by element count (ties by path)."""
+        ranked = sorted(
+            self.stats.values(),
+            key=lambda s: (-s.element_count, s.path),
+        )
+        return ranked[:k]

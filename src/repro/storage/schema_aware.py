@@ -36,6 +36,8 @@ from repro.resilience.integrity import (
 )
 from repro.schema.marking import SchemaMarking
 from repro.schema.model import Schema
+from repro.stats import maintenance as _stats
+from repro.stats.summary import PathStats, PathSummary, StatsState
 from repro.storage.database import Database
 from repro.storage.paths import PathIndex
 from repro.xmltree.nodes import Document, ElementNode
@@ -296,10 +298,16 @@ class ShreddedStore:
         #: Monotonic mutation counter: bumps on every ``load`` /
         #: ``bulk_load`` / ``append_subtree`` / ``delete_*`` /
         #: ``update_*``.  The engines' result cache keys on it, so a
-        #: mutation implicitly invalidates every cached answer.  Only
-        #: mutations made *through this store object* count — writers on
-        #: other connections (or processes) are invisible to it.
-        self._generation = 0
+        #: mutation implicitly invalidates every cached answer.  The
+        #: counter is persisted in ``repro_meta`` (so the path-summary
+        #: statistics stay versioned across reopen), but only mutations
+        #: made *through this store object* count — writers on other
+        #: connections (or processes) are invisible to it.
+        self._generation = self._initial_generation()
+        # Path-summary statistics (repro.stats), loaded lazily.
+        self._stats_loaded = False
+        self._stats_state: StatsState | None = None
+        self._summary: PathSummary | None = None
         #: In-memory copies of documents loaded through this store
         #: instance (doc_id -> (Document, base)); used by the engines'
         #: native-evaluator fallback.
@@ -354,6 +362,15 @@ class ShreddedStore:
         row = self.db.query_one("SELECT COALESCE(MAX(base + node_count), 0) FROM docs")
         return int(row[0]) if row and row[0] is not None else 0
 
+    def _initial_generation(self) -> int:
+        """Restore the persisted mutation counter (0 on fresh stores)."""
+        if "repro_meta" not in self.db.table_names():
+            return 0
+        row = self.db.query_one(
+            "SELECT value FROM repro_meta WHERE key = 'generation'"
+        )
+        return int(row[0]) if row is not None else 0
+
     @property
     def generation(self) -> int:
         """Current mutation-counter value (see ``_generation``)."""
@@ -361,6 +378,13 @@ class ShreddedStore:
 
     def _bump_generation(self) -> None:
         self._generation += 1
+        if "repro_meta" in self.db.table_names():
+            self.db.execute(
+                "INSERT OR REPLACE INTO repro_meta (key, value) "
+                "VALUES ('generation', ?)",
+                (str(self._generation),),
+            )
+            self.db.commit()
 
     # -- loading -----------------------------------------------------------------
 
@@ -408,6 +432,7 @@ class ShreddedStore:
         self.documents[doc_id] = document
         self._document_bases[doc_id] = base
         self._bump_generation()
+        self._stats_apply_documents([document])
         return doc_id
 
     def bulk_load(
@@ -479,6 +504,9 @@ class ShreddedStore:
             self._document_bases[doc_id] = base
         self._next_base = next_base
         self._bump_generation()
+        self._stats_apply_documents(
+            [doc for _, doc, _ in loaded], collect_if_missing=True
+        )
         return [doc_id for doc_id, _, _ in loaded]
 
     def _write_document(
@@ -615,6 +643,17 @@ class ShreddedStore:
         )
         if row is None:
             raise StorageError(f"unknown doc_id {doc_id}")
+        # Capture the statistics deltas while the rows still exist; the
+        # subtraction only applies when the summary was fresh going in.
+        self._load_stats()
+        removal = (
+            _stats.removal_deltas(self.db, self.mapping, doc_id)
+            if (
+                self._stats_state is not None
+                and self._stats_state.generation == self._generation
+            )
+            else None
+        )
         removed = 0
         for table in self.mapping.relations:
             cursor = self.db.execute(  # static-ok: sql-interp
@@ -626,6 +665,8 @@ class ShreddedStore:
         self.documents.pop(doc_id, None)
         self._document_bases.pop(doc_id, None)
         self._bump_generation()
+        if removal is not None:
+            self._stats_apply_removal(*removal)
         return removed
 
     def append_subtree(self, parent_global_id: int, element: ElementNode) -> list[int]:
@@ -846,6 +887,172 @@ class ShreddedStore:
             if row is not None:
                 return info
         raise StorageError(f"no element with id {global_id}")
+
+    # -- path-summary statistics (repro.stats) -----------------------------------------
+
+    def _load_stats(self) -> None:
+        if self._stats_loaded:
+            return
+        self._stats_loaded = True
+        self._stats_state = _stats.load_state(self.db)
+
+    @property
+    def stats_version(self) -> tuple[int, int] | None:
+        """The persisted summary's ``(epoch, generation)``, or ``None``
+        when statistics were never collected.  Cache fingerprints (the
+        translator's, hence the engine result cache's) incorporate this,
+        so refreshed statistics can never serve a stale plan's rows."""
+        self._load_stats()
+        return (
+            self._stats_state.version
+            if self._stats_state is not None
+            else None
+        )
+
+    @property
+    def statistics_stale(self) -> bool:
+        """True when no summary exists, or the store mutated since the
+        summary was last written (``append_subtree`` / ``delete_subtree``
+        / ``update_*`` do not maintain counts — refresh with
+        :meth:`collect_statistics`).  Stale statistics are still *safe*:
+        they only steer performance decisions, never result semantics."""
+        self._load_stats()
+        if self._stats_state is None:
+            return True
+        return self._stats_state.generation != self._generation
+
+    def path_summary(self) -> PathSummary | None:
+        """The current :class:`~repro.stats.summary.PathSummary`, or
+        ``None`` when statistics were never collected."""
+        self._load_stats()
+        if self._stats_state is None:
+            return None
+        if (
+            self._summary is None
+            or self._summary.version != self._stats_state.version
+        ):
+            self._summary = _stats.load_summary(self.db)
+        return self._summary
+
+    def collect_statistics(self) -> PathSummary:
+        """Recompute the path summary from the stored rows and persist
+        it (epoch bump, versioned against the current generation)."""
+        self._load_stats()
+        epoch = (
+            self._stats_state.epoch + 1
+            if self._stats_state is not None
+            else 1
+        )
+        summary = _stats.collect_summary(
+            self.db, self.mapping, (epoch, self._generation)
+        )
+        self._persist_summary(summary)
+        return summary
+
+    def _persist_summary(self, summary: PathSummary) -> None:
+        _stats.persist_summary(self.db, summary, self.path_index.all_paths())
+        self._stats_state = StatsState(
+            epoch=summary.version[0],
+            generation=summary.version[1],
+            document_count=summary.document_count,
+            relation_counts=dict(summary.relation_counts),
+        )
+        self._summary = summary
+
+    def _stats_apply_documents(
+        self, documents: Sequence[Document], collect_if_missing: bool = False
+    ) -> None:
+        """Incremental maintenance after ``load``/``bulk_load`` (called
+        post-bump).  A bulk load on a store without statistics collects
+        them in full ("collected at shred time",
+        ``collect_if_missing=True``); a single-document ``load`` only
+        maintains counts that already exist, so unit-scale stores stay
+        statistics-free — and hence byte-identical to the heuristic
+        pipeline — until bulk-loaded or explicitly analyzed.  A store
+        whose summary already lagged behind stays stale until
+        explicitly refreshed."""
+        self._load_stats()
+        if self._stats_state is None:
+            if collect_if_missing:
+                self.collect_statistics()
+            return
+        if self._stats_state.generation != self._generation - 1:
+            return
+        summary = self.path_summary()
+        if summary is None:
+            self.collect_statistics()
+            return
+        stats = dict(summary.stats)
+        relation_counts = dict(summary.relation_counts)
+        document_count = summary.document_count
+        for document in documents:
+            per_path, per_relation = _stats.document_deltas(
+                self.mapping, document
+            )
+            for path, (elements, values) in per_path.items():
+                previous = stats.get(path)
+                stats[path] = PathStats(
+                    path=path,
+                    element_count=(
+                        previous.element_count if previous else 0
+                    ) + elements,
+                    doc_count=(previous.doc_count if previous else 0) + 1,
+                    value_count=(
+                        previous.value_count if previous else 0
+                    ) + values,
+                )
+            for table, rows in per_relation.items():
+                relation_counts[table] = (
+                    relation_counts.get(table, 0) + rows
+                )
+            document_count += 1
+        self._persist_summary(
+            PathSummary(
+                version=(self._stats_state.epoch + 1, self._generation),
+                document_count=document_count,
+                relation_counts=relation_counts,
+                stats=stats,
+            )
+        )
+
+    def _stats_apply_removal(
+        self,
+        per_path: dict[str, tuple[int, int]],
+        per_relation: dict[str, int],
+    ) -> None:
+        """Subtract one deleted document's counts (called post-bump)."""
+        summary = self.path_summary()
+        if summary is None:
+            self.collect_statistics()
+            return
+        stats = dict(summary.stats)
+        for path, (elements, values) in per_path.items():
+            previous = stats.get(path)
+            if previous is None:
+                continue
+            remaining = previous.element_count - elements
+            if remaining <= 0:
+                stats.pop(path)
+            else:
+                stats[path] = PathStats(
+                    path=path,
+                    element_count=remaining,
+                    doc_count=max(previous.doc_count - 1, 0),
+                    value_count=max(previous.value_count - values, 0),
+                )
+        relation_counts = dict(summary.relation_counts)
+        for table, rows in per_relation.items():
+            relation_counts[table] = max(
+                relation_counts.get(table, 0) - rows, 0
+            )
+        self._persist_summary(
+            PathSummary(
+                version=(summary.version[0] + 1, self._generation),
+                document_count=max(summary.document_count - 1, 0),
+                relation_counts=relation_counts,
+                stats=stats,
+            )
+        )
 
     # -- stats ------------------------------------------------------------------------
 

@@ -232,3 +232,114 @@ class TestSeededBugs:
         plan.root.order_by = []
         report = verifier.verify(plan)
         assert all(f.citation for f in report.findings)
+
+
+@pytest.fixture(scope="module")
+def costed_translator():
+    """A translator over a store *with* statistics, so the costed
+    reordering passes fire and emit :class:`ReorderWitness` records."""
+    document = generate_xmark(XMarkConfig(scale=0.05, seed=3))
+    store = ShreddedStore.create(Database.memory(), infer_schema([document]))
+    store.load(document)
+    store.collect_statistics()
+    adapter = SchemaAwareAdapter(store)
+    return PPFTranslator(adapter)
+
+
+class TestCostedReorders:
+    """PV008: every cost-based reorder must carry a witness the
+    verifier can re-check against the surviving plan."""
+
+    _JOIN_QUERY = (
+        "/site/open_auctions/open_auction[bidder/date = interval/start]"
+    )
+    _UNION_QUERY = "//keyword | //listitem"
+
+    def _fired(self, translation, name):
+        reports = [
+            r
+            for r in translation.pass_reports
+            if r.name == name and r.fired
+        ]
+        assert reports, f"{name} did not fire on {translation.expression!r}"
+        return reports[0]
+
+    def test_genuine_join_order_witness_passes(
+        self, costed_translator, verifier
+    ):
+        translation = costed_translator.translate(self._JOIN_QUERY)
+        self._fired(translation, "costed-join-order")
+        report = verifier.verify(translation.plan, translation.pass_reports)
+        assert report.ok
+
+    def test_genuine_union_order_witness_passes(
+        self, costed_translator, verifier
+    ):
+        translation = costed_translator.translate(self._UNION_QUERY)
+        self._fired(translation, "costed-union-order")
+        report = verifier.verify(translation.plan, translation.pass_reports)
+        assert report.ok
+
+    def test_missing_witnesses_caught(self, costed_translator, verifier):
+        translation = costed_translator.translate(self._JOIN_QUERY)
+        fired = self._fired(translation, "costed-join-order")
+        stripped = dataclasses.replace(fired, reorders=())
+        reports = tuple(
+            stripped if r is fired else r
+            for r in translation.pass_reports
+        )
+        report = verifier.verify(translation.plan, reports)
+        assert report.by_code("PV008")
+
+    def test_witness_not_a_permutation_caught(
+        self, costed_translator, verifier
+    ):
+        translation = costed_translator.translate(self._JOIN_QUERY)
+        fired = self._fired(translation, "costed-join-order")
+        witness = fired.reorders[0]
+        tampered = dataclasses.replace(
+            witness, before=witness.before[:-1]
+        )
+        bad = dataclasses.replace(fired, reorders=(tampered,))
+        reports = tuple(
+            bad if r is fired else r for r in translation.pass_reports
+        )
+        report = verifier.verify(translation.plan, reports)
+        assert report.by_code("PV008")
+
+    def test_plan_not_matching_witness_caught(
+        self, costed_translator, verifier
+    ):
+        # The witness claims one order; hand the verifier a plan whose
+        # scans were shuffled back — the reorder it vouches for is not
+        # what the surviving plan executes.
+        translation = costed_translator.translate(self._JOIN_QUERY)
+        fired = self._fired(translation, "costed-join-order")
+        witness = fired.reorders[0]
+        aliases = {alias for _, alias in witness.after}
+        plan = copy.deepcopy(translation.plan)
+        reordered = [
+            s
+            for s in PlanVerifier._all_selects(plan)
+            if {scan.alias for scan in s.scans} == aliases
+        ]
+        assert reordered
+        reordered[0].scans = list(reversed(reordered[0].scans))
+        report = verifier.verify(plan, translation.pass_reports)
+        assert report.by_code("PV008")
+
+    def test_union_order_estimates_must_be_sorted(
+        self, costed_translator, verifier
+    ):
+        translation = costed_translator.translate(self._UNION_QUERY)
+        fired = self._fired(translation, "costed-union-order")
+        witness = fired.reorders[0]
+        tampered = dataclasses.replace(
+            witness, estimates=tuple(reversed(witness.estimates))
+        )
+        bad = dataclasses.replace(fired, reorders=(tampered,))
+        reports = tuple(
+            bad if r is fired else r for r in translation.pass_reports
+        )
+        report = verifier.verify(translation.plan, reports)
+        assert report.by_code("PV008")

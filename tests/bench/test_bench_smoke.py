@@ -64,6 +64,36 @@ def test_trajectory_payload_structure(tmp_path):
     assert json.loads(out.read_text())["meta"] == payload["meta"]
 
 
+def test_costed_payload_structure(tmp_path):
+    from repro.bench.trajectory import collect_costed
+    from repro.workloads.xpathmark import XPATHMARK_A_QUERIES
+
+    payload = collect_costed(scale=0.5, repeats=1, workdir=str(tmp_path))
+
+    expected = len(XPATHMARK_QUERIES) + len(XPATHMARK_A_QUERIES)
+    assert len(payload["queries"]) == expected
+    assert not any(
+        name.startswith("costed-") for name in payload["heuristic_passes"]
+    )
+    for entry in payload["queries"]:
+        assert entry["heuristic_seconds"] > 0
+        assert entry["costed_seconds"] > 0
+        assert entry["actual_rows"] >= 0
+        # Statistics were collected at shred time, so every query
+        # carries an estimate and a q-error.
+        assert entry["estimated_rows"] is not None
+        assert entry["q_error"] >= 1.0
+
+    summary = payload["summary"]
+    assert summary["heuristic_total_seconds"] > 0
+    assert summary["costed_total_seconds"] > 0
+    assert summary["overall_speedup"] > 0
+    assert summary["median_q_error"] >= 1.0
+    assert summary["max_q_error"] >= summary["median_q_error"]
+    # No latency winner asserted at smoke scale; BENCH_PR7.json records
+    # the scale-6 comparison.
+
+
 @pytest.mark.filterwarnings("ignore:.*fork.*:DeprecationWarning")
 def test_sharded_trajectory_payload_structure(tmp_path):
     from repro.bench.trajectory import collect_sharded

@@ -83,12 +83,19 @@ def build_all_engines(document):
     schema = infer_schema([document])
     store = ShreddedStore.create(Database.memory(), schema)
     store.load(document)
+    # Same data, but with statistics collected: the cost-based optimizer
+    # passes only act on a store with a path summary, so this engine
+    # runs the fully-costed pipeline while plain "ppf" stays heuristic.
+    costed_store = ShreddedStore.create(Database.memory(), schema)
+    costed_store.load(document)
+    costed_store.collect_statistics()
     edge_store = EdgeStore.create(Database.memory())
     edge_store.load(document)
     accel_store = AccelStore.create(Database.memory())
     accel_store.load(document)
     return {
         "ppf": PPFEngine(store),
+        "ppf_costed": PPFEngine(costed_store),
         "ppf_no45": PPFEngine(store, path_filter_optimization=False),
         "edge_ppf": EdgePPFEngine(edge_store),
         "naive": NaiveEngine(store),

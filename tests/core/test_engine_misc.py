@@ -163,7 +163,7 @@ class TestTranslationCache:
         assert engine.translate("//F[.=0]") is first
         # ...then overflow: the eviction victim must be //F[.=1].
         engine.translate("//F[.=3]")
-        assert set(engine._translation_cache) == {
+        assert {key[0] for key in engine._translation_cache} == {
             "//F[.=0]", "//F[.=2]", "//F[.=3]"
         }
         assert engine.translate("//F[.=0]") is first

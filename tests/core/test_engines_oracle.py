@@ -6,7 +6,14 @@ import pytest
 from repro.workloads import DBLP_QUERIES, XPATHMARK_QUERIES
 from repro.workloads.xpathmark import XPATHMARK_A_QUERIES
 
-_ENGINE_NAMES = ["ppf", "ppf_no45", "edge_ppf", "naive", "accel"]
+_ENGINE_NAMES = [
+    "ppf",
+    "ppf_costed",
+    "ppf_no45",
+    "edge_ppf",
+    "naive",
+    "accel",
+]
 
 
 def oracle_result(native, xpath):

@@ -135,6 +135,12 @@ def test_sql_engines_match_oracle(document, expression):
     schema = infer_schema([document])
     store = ShreddedStore.create(Database.memory(), schema)
     store.load(document)
+    # A second store with collected statistics: the costed passes only
+    # act when a path summary exists, so this copy exercises the
+    # cost-based pipeline while plain ``store`` covers the heuristics.
+    costed_store = ShreddedStore.create(Database.memory(), schema)
+    costed_store.load(document)
+    costed_store.collect_statistics()
     edge_store = EdgeStore.create(Database.memory())
     edge_store.load(document)
     accel_store = AccelStore.create(Database.memory())
@@ -142,6 +148,7 @@ def test_sql_engines_match_oracle(document, expression):
 
     engines = {
         "ppf": PPFEngine(store),
+        "ppf_costed": PPFEngine(costed_store),
         "ppf_no45": PPFEngine(store, path_filter_optimization=False),
         "ppf_dewey": PPFEngine(store, prefer_fk_joins=False),
         "edge": EdgePPFEngine(edge_store),
@@ -170,6 +177,10 @@ def test_every_pass_combination_matches_oracle(document, expression):
 
     store = ShreddedStore.create(Database.memory(), infer_schema([document]))
     store.load(document)
+    # With statistics collected, the costed passes actually transform
+    # plans (they no-op on summary-less stores), so each combination
+    # sweeps the cost-based pipeline too.
+    store.collect_statistics()
 
     for combination in _PASS_COMBINATIONS:
         engine = PPFEngine(store, passes=combination)

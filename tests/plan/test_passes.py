@@ -165,6 +165,126 @@ class TestXPathMarkAcceptance:
         assert joins[1] - joins[0] >= 1
 
 
+@pytest.fixture(scope="module")
+def xmark_store():
+    """An XMark store *with* collected statistics — the costed passes
+    only act when a path summary exists."""
+    from repro.schema.inference import infer_schema
+    from repro.workloads.xmark import XMarkConfig, generate_xmark
+
+    document = generate_xmark(XMarkConfig(scale=0.05, seed=3))
+    store = ShreddedStore.create(
+        Database.memory(), infer_schema([document])
+    )
+    store.load(document)
+    store.collect_statistics()
+    return store
+
+
+class TestCostedPasses:
+    def test_costed_passes_registered(self):
+        assert "costed-access-strategy" in DEFAULT_PASS_NAMES
+        assert "costed-join-order" in DEFAULT_PASS_NAMES
+        assert "costed-union-order" in DEFAULT_PASS_NAMES
+
+    def test_noop_without_statistics(self, figure1_store):
+        """On a summary-less store every costed pass must report
+        "did not fire" — plans stay byte-identical to the heuristics."""
+        engine = PPFEngine(figure1_store)
+        report = engine.explain("//F | //E")
+        by_name = {r.name: r for r in report.pass_reports}
+        for name in (
+            "costed-access-strategy",
+            "costed-join-order",
+            "costed-union-order",
+        ):
+            assert not by_name[name].fired
+        assert engine.translate("//F").estimated_rows is None
+
+    def test_access_strategy_fires_and_preserves_results(
+        self, xmark_store
+    ):
+        costed = PPFEngine(xmark_store)
+        heuristic = PPFEngine(
+            xmark_store,
+            passes=tuple(
+                n for n in DEFAULT_PASS_NAMES if n != "costed-access-strategy"
+            ),
+        )
+        translation = costed.translate("//item/name")
+        fired = {
+            r.name for r in translation.pass_reports if r.fired
+        }
+        assert "costed-access-strategy" in fired
+        assert "regexp_like" not in translation.sql
+        assert sorted(costed.execute("//item/name").ids) == sorted(
+            heuristic.execute("//item/name").ids
+        )
+
+    def test_join_order_fires_with_witness(self, xmark_store):
+        expression = (
+            "/site/open_auctions/open_auction"
+            "[bidder/date = interval/start]"
+        )
+        costed = PPFEngine(xmark_store)
+        translation = costed.translate(expression)
+        fired = [
+            r
+            for r in translation.pass_reports
+            if r.name == "costed-join-order" and r.fired
+        ]
+        assert fired and fired[0].reorders
+        witness = fired[0].reorders[0]
+        assert witness.kind == "join-order"
+        assert witness.before != witness.after
+        assert sorted(witness.before) == sorted(witness.after)
+        heuristic = PPFEngine(
+            xmark_store,
+            passes=tuple(
+                n for n in DEFAULT_PASS_NAMES if n != "costed-join-order"
+            ),
+        )
+        assert sorted(costed.execute(expression).ids) == sorted(
+            heuristic.execute(expression).ids
+        )
+
+    def test_union_order_fires_largest_first(self, xmark_store):
+        expression = "//keyword | //listitem"
+        costed = PPFEngine(xmark_store)
+        translation = costed.translate(expression)
+        fired = [
+            r
+            for r in translation.pass_reports
+            if r.name == "costed-union-order" and r.fired
+        ]
+        assert fired and fired[0].reorders
+        witness = fired[0].reorders[0]
+        assert witness.kind == "union-order"
+        assert list(witness.estimates) == sorted(
+            witness.estimates, reverse=True
+        )
+        heuristic = PPFEngine(
+            xmark_store,
+            passes=tuple(
+                n for n in DEFAULT_PASS_NAMES if n != "costed-union-order"
+            ),
+        )
+        assert sorted(costed.execute(expression).ids) == sorted(
+            heuristic.execute(expression).ids
+        )
+
+    def test_translation_carries_estimates(self, xmark_store):
+        engine = PPFEngine(xmark_store)
+        translation = engine.translate("//item/name")
+        assert translation.estimated_rows is not None
+        assert translation.estimated_rows > 0
+        assert translation.branch_estimates is not None
+        assert sum(translation.branch_estimates) == pytest.approx(
+            translation.estimated_rows
+        )
+        assert translation.stats_version == xmark_store.stats_version
+
+
 class TestTranslatorFacade:
     def test_translator_builds_no_sql_directly(self):
         """The facade only parses, plans, optimizes and lowers — it
