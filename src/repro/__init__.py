@@ -7,7 +7,22 @@ joins, a root-to-node path index with regular-expression filtering, the
 PPF-based XPath-to-SQL translator, the baselines the paper compares
 against, and the benchmark workloads of its evaluation.
 
-Quickstart::
+Quickstart — :func:`repro.connect` opens any store (a single SQLite
+file or a sharded store directory) behind one :class:`~repro.api.
+Engine` surface::
+
+    import repro
+
+    with repro.connect("corpus.db") as engine:
+        print(engine.explain("/site/regions/*/item"))
+        for row in engine.execute("/site/regions/*/item"):
+            print(row.id, row.dewey_pos)
+
+    # asyncio clients await the same engine
+    result = await engine.execute_async("//price", deadline=1.0)
+
+Building a store from scratch (and the lower-level pieces
+``connect`` wraps)::
 
     from repro import (
         parse_document, infer_schema, Database, ShreddedStore, PPFEngine,
@@ -18,9 +33,6 @@ Quickstart::
     store = ShreddedStore.create(Database.memory(), schema)
     store.load(doc)
     engine = PPFEngine(store)
-    print(engine.explain("/site/regions/*/item"))
-    for row in engine.execute("/site/regions/*/item"):
-        print(row.id, row.dewey_pos)
 """
 
 from repro.errors import (
@@ -76,6 +88,8 @@ from repro.core import (
     QueryResult,
     TranslationResult,
 )
+from repro.core.engine import SERVED_BY, ServedBy
+from repro.api import Engine, EngineConfig, connect
 from repro.baselines import (
     AccelEngine,
     NaiveEngine,
@@ -88,6 +102,7 @@ from repro.resilience import (
     ResiliencePolicy,
 )
 from repro.serving import (
+    AsyncShardedEngine,
     ConnectionPool,
     ResultCache,
     ServingConfig,
@@ -111,6 +126,7 @@ __all__ = [
     "AccelEngine",
     "AccelStore",
     "AdmissionRejectedError",
+    "AsyncShardedEngine",
     "CodeLinter",
     "ConnectionPool",
     "Database",
@@ -120,6 +136,8 @@ __all__ = [
     "EdgePPFEngine",
     "EdgeStore",
     "ElementNode",
+    "Engine",
+    "EngineConfig",
     "FaultInjectingDatabase",
     "FaultPlan",
     "Finding",
@@ -140,9 +158,11 @@ __all__ = [
     "ResiliencePolicy",
     "ResultCache",
     "RetryExhaustedError",
+    "SERVED_BY",
     "Schema",
     "SchemaError",
     "SchemaMarking",
+    "ServedBy",
     "ServingConfig",
     "Severity",
     "ShardError",
@@ -161,6 +181,7 @@ __all__ = [
     "XMLParseError",
     "XPathLinter",
     "XPathSyntaxError",
+    "connect",
     "evaluate_xpath",
     "figure1_schema",
     "infer_schema",

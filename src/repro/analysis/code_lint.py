@@ -1,6 +1,6 @@
 """Project-rule enforcement over the Python sources (the ``CodeLinter``).
 
-An :mod:`ast`-based checker for the three invariants the resilience and
+An :mod:`ast`-based checker for the invariants the resilience and
 serving layers rely on but no off-the-shelf linter knows about:
 
 ``CA001`` **raw sqlite3 entry points** — ``sqlite3.connect()`` (or any
@@ -20,6 +20,13 @@ serving layers rely on but no off-the-shelf linter knows about:
     must also bump the generation, or serving-layer caches go stale.
     ``# static-ok: generation-bump`` on the ``def`` line suppresses
     (ERROR).
+``CA004`` **served_by vocabulary** — ``QueryResult.served_by`` is a
+    closed vocabulary (:data:`repro.core.engine.SERVED_BY` /
+    ``ServedBy``); any string literal constructed into, assigned to, or
+    compared against ``served_by`` that is outside it is flagged, so an
+    engine cannot invent a private value the serving layer (and the
+    oracle test matrix) does not know.  ``# static-ok: served-by``
+    suppresses one reviewed site (ERROR).
 
 The linter is wired into the ``analysis`` CI job over ``src/`` and is
 available ad hoc via ``repro lint --code <path>``.
@@ -59,6 +66,15 @@ _DML_PREFIXES = ("INSERT", "UPDATE", "DELETE")
 
 _PRAGMA_SQL = "static-ok: sql-interp"
 _PRAGMA_BUMP = "static-ok: generation-bump"
+_PRAGMA_SERVED = "static-ok: served-by"
+
+
+def _served_by_vocabulary() -> "frozenset[str]":
+    # Imported lazily: repro.core pulls in the serving layer, which
+    # must stay importable without the analysis package and vice versa.
+    from repro.core.engine import SERVED_BY
+
+    return SERVED_BY
 
 
 def _pragma_lines(source: str, pragma: str) -> set[int]:
@@ -155,11 +171,13 @@ class CodeLinter:
         basename = Path(filename).name
         sql_ok = _pragma_lines(source, _PRAGMA_SQL)
         bump_ok = _pragma_lines(source, _PRAGMA_BUMP)
+        served_ok = _pragma_lines(source, _PRAGMA_SERVED)
         self._check_raw_sqlite(tree, basename, filename, report)
         self._check_sql_interpolation(
             tree, basename, filename, sql_ok, report
         )
         self._check_generation_bumps(tree, filename, bump_ok, report)
+        self._check_served_by(tree, filename, served_ok, report)
         return report
 
     def lint_file(self, path: Union[str, Path]) -> Report:
@@ -277,6 +295,77 @@ class CodeLinter:
                         f"{filename}:{method.lineno}",
                         "serving-layer cache invalidation contract",
                     )
+
+
+    # -- CA004 -------------------------------------------------------------------
+
+    def _check_served_by(
+        self,
+        tree: ast.AST,
+        filename: str,
+        suppressed: set[int],
+        report: Report,
+    ) -> None:
+        vocabulary = _served_by_vocabulary()
+        for node in ast.walk(tree):
+            for literal, lineno in self._served_by_literals(node):
+                if literal in vocabulary or lineno in suppressed:
+                    continue
+                report.add(
+                    _ANALYZER,
+                    "CA004",
+                    Severity.ERROR,
+                    f"served_by value {literal!r} is outside the closed "
+                    f"vocabulary {sorted(vocabulary)}; extend "
+                    "repro.core.engine.SERVED_BY (and the ServedBy "
+                    "Literal) instead of inventing engine-local strings",
+                    f"{filename}:{lineno}",
+                    "QueryResult.served_by contract",
+                )
+
+    @staticmethod
+    def _served_by_literals(
+        node: ast.AST,
+    ) -> list[tuple[str, int]]:
+        """String literals flowing into ``served_by`` at ``node``:
+        constructor keywords, attribute assignments, and equality
+        comparisons."""
+        found: list[tuple[str, int]] = []
+
+        def _const_str(expr: ast.expr) -> "str | None":
+            if isinstance(expr, ast.Constant) and isinstance(
+                expr.value, str
+            ):
+                return expr.value
+            return None
+
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg != "served_by":
+                    continue
+                value = _const_str(keyword.value)
+                if value is not None:
+                    found.append((value, keyword.value.lineno))
+        elif isinstance(node, ast.Assign):
+            value = _const_str(node.value)
+            if value is not None and any(
+                isinstance(target, ast.Attribute)
+                and target.attr == "served_by"
+                for target in node.targets
+            ):
+                found.append((value, node.lineno))
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+            if isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                left, right = node.left, node.comparators[0]
+                for attr, const in ((left, right), (right, left)):
+                    if (
+                        isinstance(attr, ast.Attribute)
+                        and attr.attr == "served_by"
+                    ):
+                        value = _const_str(const)
+                        if value is not None:
+                            found.append((value, node.lineno))
+        return found
 
 
 def lint_code(paths: Iterable[Union[str, Path]]) -> Report:

@@ -146,7 +146,7 @@ def _collect_in(
         run_engine = PPFEngine(store, result_cache_size=None, pool=pool)
         try:
             seconds = _median_time(
-                lambda: run_engine.execute_many(xpaths, max_workers=workers),
+                lambda: run_engine.execute_many(xpaths, concurrency=workers),
                 repeats,
             )
         finally:
@@ -476,7 +476,7 @@ def _collect_sharded_in(
     serial_store.db.commit()
     serial_engine = PPFEngine(serial_store, result_cache_size=None)
     serial_seconds = _median_time(
-        lambda: serial_engine.execute_many(xpaths, max_workers=1), repeats
+        lambda: serial_engine.execute_many(xpaths, concurrency=1), repeats
     )
 
     sharded_store = ShardedStore.create(
@@ -490,7 +490,7 @@ def _collect_sharded_in(
         sharded_store, config=config, replicas=1
     ) as engine:
         sharded_seconds = _median_time(
-            lambda: engine.execute_many(xpaths, max_workers=shards),
+            lambda: engine.execute_many(xpaths, concurrency=shards),
             repeats,
         )
 
@@ -569,4 +569,172 @@ def _collect_sharded_in(
                 "p99_seconds": round(_percentile(unhedged, 0.99), 6),
             },
         },
+    }
+
+
+def collect_async(
+    scale: float = 2.0,
+    shards: int = 4,
+    docs: int = 8,
+    total_queries: int = 1000,
+    max_inflight: int = 32,
+    repeats: int = 3,
+    seed: int = 42,
+    workdir: str | None = None,
+) -> dict:
+    """Thread-blocking client vs the asyncio front door, same fleet.
+
+    Loads ``docs`` XMark documents into a ``shards``-way sharded store,
+    then pushes the same ``total_queries``-query workload (the
+    XPathMark set, cycled) through
+
+    * the thread-blocking client shape: ``max_inflight`` threads, each
+      parking in a blocking ``engine.execute`` per query (every query
+      pays its own scatter round-trip), and
+    * a single-threaded asyncio client that ``gather``s every query at
+      once against :class:`~repro.serving.frontdoor.AsyncShardedEngine`
+      with awaitable backpressure (``admission_timeout=None``), so at
+      most ``max_inflight`` queries are in flight while the rest park
+      on the admission semaphore — concurrent queries coalesce into
+      one ``submit_batch`` per shard per tick.
+
+    ``execute_many`` (the whole workload pipelined up front in one
+    batch per shard) is reported too, as the upper bound batching can
+    reach when the full query list is known in advance.
+
+    Peak heap (tracemalloc) is recorded during the async run: with
+    every query submitted up front, memory must stay bounded by the
+    admission window rather than the workload size.  Returned as the
+    ``async_frontdoor`` section of the benchmark JSON.
+    """
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            return _collect_async_in(
+                tmp, scale, shards, docs, total_queries, max_inflight,
+                repeats, seed,
+            )
+    return _collect_async_in(
+        workdir, scale, shards, docs, total_queries, max_inflight,
+        repeats, seed,
+    )
+
+
+def _collect_async_in(
+    workdir: str,
+    scale: float,
+    shards: int,
+    docs: int,
+    total_queries: int,
+    max_inflight: int,
+    repeats: int,
+    seed: int,
+) -> dict:
+    import asyncio
+    import tracemalloc
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serving.frontdoor import AsyncShardedEngine
+    from repro.serving.scatter import ServingConfig, ShardedEngine
+    from repro.serving.shards import ShardedStore
+
+    documents = []
+    for i in range(docs):
+        document = generate_xmark(XMarkConfig(scale=scale, seed=seed + i))
+        document.name = f"xmark-{i}.xml"
+        documents.append(document)
+    schema = infer_schema(documents)
+    base = [query.xpath for query in XPATHMARK_QUERIES]
+    workload = [base[i % len(base)] for i in range(total_queries)]
+
+    store = ShardedStore.create(
+        os.path.join(workdir, "async-sharded"), schema, shards=shards
+    )
+    store.bulk_load(documents)
+    store.analyze()
+    config = ServingConfig(
+        deadline=120.0,
+        result_cache_size=None,
+        max_inflight=max_inflight,
+        admission_timeout=None,
+    )
+
+    with store, ShardedEngine.serve(
+        store, config=config, replicas=1
+    ) as engine:
+
+        def thread_blocking_run():
+            with ThreadPoolExecutor(max_workers=max_inflight) as pool:
+                results = list(pool.map(engine.execute, workload))
+            incomplete = sum(1 for r in results if not r.complete)
+            if incomplete:
+                raise AssertionError(
+                    f"{incomplete} threaded results incomplete"
+                )
+
+        sync_seconds = _median_time(thread_blocking_run, repeats)
+        pipelined_seconds = _median_time(
+            lambda: engine.execute_many(workload, concurrency=shards),
+            repeats,
+        )
+
+        async def gather_all():
+            front = AsyncShardedEngine(engine)
+            results = await asyncio.gather(
+                *(front.execute(xpath) for xpath in workload)
+            )
+            incomplete = sum(1 for r in results if not r.complete)
+            if incomplete:
+                raise AssertionError(
+                    f"{incomplete} async results incomplete"
+                )
+
+        def async_run():
+            asyncio.run(gather_all())
+
+        async_seconds = _median_time(async_run, repeats)
+        tracemalloc.start()
+        async_run()
+        _, peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        batches = engine.stats.get("queries", 0)
+
+    return {
+        "meta": {
+            "workload": "xmark-async-frontdoor",
+            "scale": scale,
+            "documents": docs,
+            "elements": sum(d.element_count() for d in documents),
+            "shards": shards,
+            "total_queries": total_queries,
+            "max_inflight": max_inflight,
+            "repeats": repeats,
+            "python": f"{platform.python_implementation()} "
+            f"{platform.python_version()}",
+            "cpus": os.cpu_count(),
+        },
+        "note": "same fleet for all three clients; the async client "
+        "submits every query in one gather on one thread and relies "
+        "on awaitable admission for backpressure",
+        "sync_blocking": {
+            "client_threads": max_inflight,
+            "seconds": round(sync_seconds, 6),
+            "queries_per_second": round(
+                total_queries / sync_seconds, 2
+            ),
+        },
+        "pipelined_execute_many": {
+            "seconds": round(pipelined_seconds, 6),
+            "queries_per_second": round(
+                total_queries / pipelined_seconds, 2
+            ),
+        },
+        "async_frontdoor": {
+            "seconds": round(async_seconds, 6),
+            "queries_per_second": round(
+                total_queries / async_seconds, 2
+            ),
+            "speedup_vs_sync": round(sync_seconds / async_seconds, 3),
+            "peak_traced_mib": round(peak_bytes / (1024 * 1024), 2),
+        },
+        "queries_observed": batches,
     }

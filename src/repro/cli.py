@@ -115,75 +115,53 @@ def _is_sharded_dir(path: str) -> bool:
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query`` — run XPath queries and print the results.
 
-    Several queries with ``--workers N`` fan out over a read-only
-    connection pool (``repro.serving``); results print in input order.
-    A sharded store directory (detected, or requested via ``--shards``)
-    is served by the supervised multi-process scatter-gather engine
-    instead, with ``--query-timeout`` as the per-query deadline.
+    Both store kinds are opened through :func:`repro.connect`: a single
+    store file fans ``--workers N`` out over a read-only connection
+    pool, a sharded store directory (detected, or requested via
+    ``--shards``) is served by the supervised multi-process
+    scatter-gather engine; ``--query-timeout`` is the per-query
+    deadline either way, and results print in input order.
     """
-    from repro.serving import ConnectionPool
+    from repro.api import EngineConfig, connect
 
-    if args.shards is not None or _is_sharded_dir(args.database):
-        return _query_sharded(args)
-    policy = ResiliencePolicy(
-        query_timeout=args.query_timeout, max_rows=args.max_rows
-    )
-    store = _open_store(args.database, policy)
-    engine = PPFEngine(store)
-    pool = None
-    if args.workers > 1 and len(args.xpaths) > 1:
-        # Pass the policy explicitly: the pool must enforce the same
-        # limits as the store connection, on every fan-out path.
-        pool = ConnectionPool.for_store(
-            store, size=args.workers, policy=policy
-        )
-        engine.attach_pool(pool)
-    try:
-        results = engine.execute_many(args.xpaths, max_workers=args.workers)
-        for xpath, result in zip(args.xpaths, results):
-            if len(args.xpaths) > 1:
-                print(f"== {xpath}")
-            _print_result(store, result)
-    finally:
-        if pool is not None:
-            pool.close()
-    return 0
-
-
-def _query_sharded(args: argparse.Namespace) -> int:
-    """Serve ``repro query`` over a sharded store directory."""
-    from repro.serving.scatter import ServingConfig, ShardedEngine
-    from repro.serving.shards import ShardedStore
-
-    if not _is_sharded_dir(args.database):
+    sharded = _is_sharded_dir(args.database)
+    if args.shards is not None and not sharded:
         print(
             f"error: {args.database!r} is not a sharded store directory "
             f"(create one with `repro shard create`)",
             file=sys.stderr,
         )
         return 2
-    store = ShardedStore.open(args.database)
-    if args.shards not in (None, 0, store.shard_count):
-        print(
-            f"error: store {args.database!r} has {store.shard_count} "
-            f"shard(s), not {args.shards}",
-            file=sys.stderr,
-        )
-        return 2
-    config = ServingConfig(
-        deadline=args.query_timeout, max_rows=args.max_rows
+    config = EngineConfig(
+        deadline=args.query_timeout,
+        max_rows=args.max_rows,
+        pool_size=(
+            args.workers
+            if args.workers > 1 and len(args.xpaths) > 1
+            else 0
+        ),
     )
     exit_code = 0
-    with store, ShardedEngine.serve(store, config=config) as engine:
-        results = engine.execute_many(args.xpaths, max_workers=args.workers)
+    with connect(args.database, config=config) as engine:
+        store = engine.store
+        if sharded and args.shards not in (None, 0, store.shard_count):
+            print(
+                f"error: store {args.database!r} has "
+                f"{store.shard_count} shard(s), not {args.shards}",
+                file=sys.stderr,
+            )
+            return 2
+        results = engine.execute_many(
+            args.xpaths, concurrency=args.workers
+        )
         for xpath, result in zip(args.xpaths, results):
             if len(args.xpaths) > 1:
                 print(f"== {xpath}")
             _print_result(store, result)
             if not result.complete:
-                shards = ", ".join(str(s) for s in result.failed_shards)
+                failed = ", ".join(str(s) for s in result.failed_shards)
                 print(
-                    f"-- WARNING: partial result; shard(s) {shards} "
+                    f"-- WARNING: partial result; shard(s) {failed} "
                     f"did not contribute",
                     file=sys.stderr,
                 )

@@ -14,11 +14,15 @@ schema-oblivious variant sharing the identical translation algorithm.
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import threading
+import time
+import warnings
 from collections import OrderedDict, namedtuple
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Union
+from typing import Iterable, Iterator, Literal, Optional, Union
 
 from repro.core.adapters import EdgeAdapter, SchemaAwareAdapter
 from repro.core.translator import PPFTranslator, TranslationResult
@@ -41,6 +45,21 @@ from repro.xpath.ast import XPathExpr
 
 #: Hit/miss statistics of the per-engine translation cache.
 CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+#: The closed vocabulary of :attr:`QueryResult.served_by` values.  Every
+#: execution path must report one of exactly these strings — ``"sql"``
+#: (the translated statement ran on a single store), ``"native"`` (the
+#: in-memory evaluator answered, either as explicit baseline or as the
+#: degradation ladder's last rung) or ``"shards"`` (scatter-gather over
+#: the sharded worker fleet, including the asyncio front door).  The
+#: vocabulary is enforced three ways: :class:`QueryResult` validates at
+#: construction, the ``CA004`` code lint rejects out-of-vocabulary
+#: string literals passed as ``served_by=``, and the oracle test matrix
+#: asserts every engine's results stay inside it.
+SERVED_BY: frozenset[str] = frozenset({"sql", "native", "shards"})
+
+#: Static typing twin of :data:`SERVED_BY` (keep the two in sync).
+ServedBy = Literal["sql", "native", "shards"]
 
 
 class ExplainReport(str):
@@ -155,6 +174,11 @@ class QueryResult:
         complete: bool = True,
         failed_shards: Optional[list[int]] = None,
     ):
+        if served_by not in SERVED_BY:
+            raise ValueError(
+                f"served_by must be one of {sorted(SERVED_BY)}, "
+                f"got {served_by!r}"
+            )
         self.rows = rows
         #: ``nodes``, ``text`` or ``attribute``.
         self.projection = projection
@@ -162,7 +186,8 @@ class QueryResult:
         #: translated statement ran on the store), ``"native"`` (the
         #: in-memory evaluator answered after SQL execution timed out or
         #: exhausted its retries) or ``"shards"`` (scatter-gather over
-        #: the sharded worker fleet).
+        #: the sharded worker fleet).  Always a member of the closed
+        #: :data:`SERVED_BY` vocabulary.
         self.served_by = served_by
         #: ``False`` when one or more shards could not contribute rows
         #: (see :attr:`failed_shards`); always ``True`` for single-store
@@ -210,6 +235,51 @@ class QueryResult:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QueryResult({len(self.rows)} rows, {self.projection!r})"
+
+
+def _normalize_many_args(
+    engine_name: str,
+    args: tuple,
+    deadline: Optional[float],
+    concurrency: Optional[int],
+    max_workers: Optional[int],
+) -> tuple[Optional[float], Optional[int]]:
+    """Shared deprecation shim behind every engine's ``execute_many``.
+
+    The normalized signature is ``execute_many(expressions, *,
+    deadline=None, concurrency=None)`` on every engine.  The historical
+    surfaces — positional ``max_workers`` (and, on the sharded engine,
+    positional ``deadline`` behind it) and the ``max_workers=`` keyword
+    — still work but raise :class:`DeprecationWarning`; internal
+    callers and CI run with ``-W error::DeprecationWarning``."""
+    if args:
+        if len(args) > 2:
+            raise TypeError(
+                f"{engine_name}.execute_many() takes at most 3 "
+                f"positional arguments ({2 + len(args)} given)"
+            )
+        warnings.warn(
+            f"positional max_workers/deadline arguments to "
+            f"{engine_name}.execute_many() are deprecated; use "
+            f"execute_many(expressions, deadline=..., concurrency=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if max_workers is None:
+            max_workers = args[0]
+        if len(args) > 1 and deadline is None:
+            deadline = args[1]
+    if max_workers is not None:
+        if not args:
+            warnings.warn(
+                f"{engine_name}.execute_many(max_workers=...) is "
+                f"deprecated; use concurrency=...",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if concurrency is None:
+            concurrency = max_workers
+    return deadline, concurrency
 
 
 class SQLXPathEngine:
@@ -274,6 +344,13 @@ class SQLXPathEngine:
             ResultCache(result_cache_size) if result_cache_size else None
         )
         self._pool = pool
+        #: Bounded executor behind :meth:`execute_async` (lazy; NOT one
+        #: thread per query).
+        self._async_executor: ThreadPoolExecutor | None = None
+        #: Cleanup hooks run by :meth:`close` — :func:`repro.connect`
+        #: registers the store/database it opened here, so closing the
+        #: engine releases everything it owns.
+        self._on_close: list = []
 
     # -- connection pool ---------------------------------------------------------
 
@@ -471,7 +548,9 @@ class SQLXPathEngine:
         present = [limit for limit in limits if limit is not None]
         return min(present) if present else None
 
-    def _run_sql(self, sql: str) -> list[tuple]:
+    def _run_sql(
+        self, sql: str, deadline: Optional[float] = None
+    ) -> list[tuple]:
         """Run one statement under the resilience guards — on a pooled
         read-only connection when a pool is attached, on the store's own
         connection otherwise.
@@ -483,7 +562,9 @@ class SQLXPathEngine:
         :data:`~repro.resilience.DEFAULT_POLICY`) can never silently
         drop the limits ``execute`` would have applied — this is what
         makes ``--query-timeout`` reach the ``execute_many`` /
-        ``execute_parallel`` fan-out paths.
+        ``execute_parallel`` fan-out paths.  ``deadline`` (seconds of
+        remaining budget) tightens the wall-clock limit further, never
+        loosens it.
         """
         store_policy = self.store.db.policy
         pool = self._pool
@@ -492,12 +573,22 @@ class SQLXPathEngine:
                 return db.query(
                     sql,
                     timeout=self._strictest(
-                        store_policy.query_timeout, db.policy.query_timeout
+                        store_policy.query_timeout,
+                        db.policy.query_timeout,
+                        deadline,
                     ),
                     max_rows=self._strictest(
                         store_policy.max_rows, db.policy.max_rows
                     ),
                 )
+        if deadline is not None:
+            return self.store.db.query(
+                sql,
+                timeout=self._strictest(
+                    store_policy.query_timeout, deadline
+                ),
+                max_rows=store_policy.max_rows,
+            )
         return self.store.db.guarded_query(sql)
 
     def _materialize(
@@ -531,11 +622,17 @@ class SQLXPathEngine:
         )
         return QueryResult(ordered, translation.projection)
 
-    def execute(self, expression: Union[str, XPathExpr]) -> QueryResult:
+    def execute(
+        self,
+        expression: Union[str, XPathExpr],
+        *,
+        deadline: Optional[float] = None,
+    ) -> QueryResult:
         """Translate and run ``expression`` against the store.
 
         Runs under the connection's resilience policy (query timeout /
-        row cap); with :attr:`fallback` enabled, a timed-out or
+        row cap); ``deadline`` (seconds) tightens the wall-clock budget
+        further.  With :attr:`fallback` enabled, a timed-out or
         retry-exhausted SQL execution is answered by the native
         evaluator instead (``result.served_by == "native"``).  A result
         cached for the store's current generation is returned without
@@ -550,7 +647,7 @@ class SQLXPathEngine:
             if cached is not None:
                 return cached
         try:
-            raw = self._run_sql(translation.sql)
+            raw = self._run_sql(translation.sql, deadline)
         except (QueryTimeoutError, RetryExhaustedError):
             if not self.fallback:
                 raise
@@ -567,21 +664,97 @@ class SQLXPathEngine:
     def execute_many(
         self,
         expressions: Iterable[Union[str, XPathExpr]],
-        max_workers: int = 4,
+        *args,
+        deadline: Optional[float] = None,
+        concurrency: Optional[int] = None,
+        max_workers: Optional[int] = None,
     ) -> list[QueryResult]:
         """Run many independent queries, results in input order.
 
+        The normalized batch surface shared with
+        :class:`~repro.serving.scatter.ShardedEngine`: ``concurrency``
+        bounds the fan-out, ``deadline`` is a wall-clock budget for the
+        *whole call* — queries started after it expires fail like any
+        per-query timeout (fallback-answered when enabled, raised
+        otherwise).  ``max_workers`` (and passing it positionally) is
+        deprecated; it maps onto ``concurrency``.
+
         With a pool attached, queries fan out over a
-        ``ThreadPoolExecutor`` (at most ``max_workers`` in flight) and
+        ``ThreadPoolExecutor`` (at most ``concurrency`` in flight) and
         overlap inside SQLite; without one they run serially on the
         store's connection — same results, no concurrency.
         """
+        deadline, concurrency = _normalize_many_args(
+            type(self).__name__, args, deadline, concurrency, max_workers
+        )
+        if concurrency is None:
+            concurrency = 4
         expressions = list(expressions)
-        workers = min(max_workers, len(expressions))
+        expiry = None if deadline is None else time.monotonic() + deadline
+
+        def run(expression: Union[str, XPathExpr]) -> QueryResult:
+            remaining = None
+            if expiry is not None:
+                remaining = max(expiry - time.monotonic(), 0.001)
+            return self.execute(expression, deadline=remaining)
+
+        workers = min(concurrency, len(expressions))
         if self._pool is None or workers <= 1:
-            return [self.execute(expression) for expression in expressions]
+            return [run(expression) for expression in expressions]
         with ThreadPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(self.execute, expressions))
+            return list(executor.map(run, expressions))
+
+    async def execute_async(
+        self,
+        expression: Union[str, XPathExpr],
+        *,
+        deadline: Optional[float] = None,
+    ) -> QueryResult:
+        """Awaitable :meth:`execute` for asyncio callers.
+
+        Single-store execution is CPU/SQLite-bound, so the call runs on
+        a small engine-owned thread pool (bounded — concurrent awaits
+        queue rather than spawning a thread each); the coroutine merely
+        awaits its completion.  Cancelling the await abandons the
+        *wait*, not the underlying statement — the resilience policy's
+        timeout still bounds the worker thread.
+        """
+        loop = asyncio.get_running_loop()
+        executor = self._async_executor
+        if executor is None:
+            with self._lock:
+                executor = self._async_executor
+                if executor is None:
+                    executor = ThreadPoolExecutor(
+                        max_workers=4,
+                        thread_name_prefix="repro-async",
+                    )
+                    self._async_executor = executor
+        return await loop.run_in_executor(
+            executor,
+            functools.partial(self.execute, expression, deadline=deadline),
+        )
+
+    def close(self) -> None:
+        """Release engine-owned resources (idempotent).
+
+        Shuts down the :meth:`execute_async` thread pool and runs any
+        cleanup hooks registered by :func:`repro.connect` (the store /
+        database it opened on the caller's behalf).  The engine object
+        must not be used afterwards.
+        """
+        executor, self._async_executor = self._async_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        hooks, self._on_close = list(self._on_close), []
+        for hook in reversed(hooks):
+            hook()
+
+    def __enter__(self) -> "SQLXPathEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def execute_parallel(
         self, expression: Union[str, XPathExpr], max_workers: int = 4

@@ -21,7 +21,12 @@ that under concurrency:
   :class:`ShardRuntime` supervises the forked worker fleet serving
   them, and :class:`ShardedEngine` scatter-gathers queries over the
   fleet with deadlines, hedging, circuit breaking and a
-  graceful-degradation ladder.
+  graceful-degradation ladder,
+* the **asyncio front door** (:class:`AsyncShardedEngine`) — batched
+  admission over the same fleet for event-loop clients: thousands of
+  in-flight queries per process, one coalesced ``submit_batch`` per
+  shard per tick, the degradation ladder driven by futures instead of
+  blocked threads.
 """
 
 from repro.serving.bulk import bulk_pragmas, iter_chunks
@@ -40,6 +45,7 @@ _LAZY = {
     "ServingConfig": "scatter",
     "ShardOutcome": "scatter",
     "ShardedEngine": "scatter",
+    "AsyncShardedEngine": "frontdoor",
 }
 
 
@@ -54,6 +60,7 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AsyncShardedEngine",
     "CacheInfo",
     "CircuitBreaker",
     "ConnectionPool",

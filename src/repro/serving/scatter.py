@@ -39,6 +39,7 @@ spending the deadline on them.
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import marshal
 import operator
@@ -54,6 +55,7 @@ from repro.core.engine import (
     QueryResult,
     ResultRow,
     SQLXPathEngine,
+    _normalize_many_args,
 )
 from repro.core.translator import PPFTranslator, TranslationResult
 from repro.errors import AdmissionRejectedError, ShardUnavailableError
@@ -95,8 +97,12 @@ class ServingConfig:
     #: Maximum queries in flight; the admission queue rejects beyond it.
     max_inflight: int = 8
     #: Seconds :meth:`ShardedEngine.execute` waits for an admission slot
-    #: before raising :class:`AdmissionRejectedError`.
-    admission_timeout: float = 0.5
+    #: before raising :class:`AdmissionRejectedError`.  ``None`` waits
+    #: without limit — on the async front door this is the *awaitable
+    #: backpressure* mode: submitted queries park on the admission
+    #: semaphore (a pending future each, not a thread each) until a
+    #: slot frees.
+    admission_timeout: Optional[float] = 0.5
     #: Consecutive per-shard failures that trip the shard's breaker.
     breaker_threshold: int = 3
     #: Seconds a tripped breaker stays open before half-open probing.
@@ -181,6 +187,12 @@ class ShardedEngine:
             thread_name_prefix="scatter",
         )
         self._stats_lock = threading.Lock()
+        # Lazily-built async front doors, one per event loop (keyed by
+        # id(loop), identity-checked: a dead loop's slot is reclaimed).
+        self._frontdoors: dict[int, object] = {}
+        #: Cleanup hooks run by :meth:`close` — :func:`repro.connect`
+        #: registers the store it opened here.
+        self._on_close: list = []
         #: Degradation counters: queries, hedges, retries, partials,
         #: fallbacks, rejections, breaker_short_circuits.
         self.stats = {
@@ -232,11 +244,16 @@ class ShardedEngine:
         )
 
     def close(self) -> None:
-        """Shut down the scatter pool, and the worker fleet when this
-        engine owns it."""
+        """Shut down the scatter pool, the worker fleet when this
+        engine owns it, and anything :func:`repro.connect` opened on
+        the caller's behalf."""
+        self._frontdoors.clear()
         self._scatter.shutdown(wait=False)
         if self._own_runtime:
             self.runtime.close()
+        hooks, self._on_close = list(self._on_close), []
+        for hook in reversed(hooks):
+            hook()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -306,21 +323,30 @@ class ShardedEngine:
     def execute_many(
         self,
         expressions,
-        max_workers: int = 4,
+        *args,
         deadline: Optional[float] = None,
+        concurrency: Optional[int] = None,
+        max_workers: Optional[int] = None,
     ) -> list[QueryResult]:
         """Run many queries, results in input order.
 
+        The normalized batch surface shared with
+        :class:`~repro.core.engine.PPFEngine`: ``deadline`` is a
+        wall-clock budget for the whole call, and partial-result
+        semantics ride on each result's ``complete``/``failed_shards``.
         The statements are *pipelined*: each shard worker receives one
         batch request carrying every statement, so queue and pickle
         overhead is paid per shard instead of per query.  Any statement
         a shard's batch could not answer is re-run through the normal
         per-shard hedge/retry ladder, so per-query degradation
         semantics (partial results, fallback, typed errors) are
-        unchanged.  ``deadline`` covers the whole batch; the batch
-        occupies one admission slot.  ``max_workers`` is accepted for
-        API compatibility (pipelining replaced the per-query thread
-        fan-out)."""
+        unchanged.  The batch occupies one admission slot.
+        ``concurrency`` (and the deprecated ``max_workers`` /
+        positional form) is accepted for surface compatibility —
+        pipelining replaced the client-side thread fan-out."""
+        deadline, _ = _normalize_many_args(
+            type(self).__name__, args, deadline, concurrency, max_workers
+        )
         expressions = list(expressions)
         if len(expressions) <= 1:
             return [
@@ -362,6 +388,34 @@ class ShardedEngine:
             finally:
                 self._admission.release()
         return [results[index] for index in range(len(expressions))]
+
+    def frontdoor(self) -> "object":
+        """The calling event loop's :class:`~repro.serving.frontdoor.
+        AsyncShardedEngine` over this engine (created on first use;
+        shares this engine's planner, breakers, caches and stats).
+        Must be called from a running loop."""
+        # Imported lazily: frontdoor imports this module.
+        from repro.serving.frontdoor import AsyncShardedEngine
+
+        loop = asyncio.get_running_loop()
+        front = self._frontdoors.get(id(loop))
+        if front is None or front._loop is not loop:
+            front = AsyncShardedEngine(self)
+            self._frontdoors[id(loop)] = front
+        return front
+
+    async def execute_async(
+        self,
+        expression: Union[str, XPathExpr],
+        *,
+        deadline: Optional[float] = None,
+    ) -> QueryResult:
+        """Awaitable :meth:`execute` through the calling loop's async
+        front door: batched admission, awaitable backpressure, and the
+        degradation ladder driven by futures instead of a blocked
+        thread.  See :class:`~repro.serving.frontdoor.
+        AsyncShardedEngine`."""
+        return await self.frontdoor().execute(expression, deadline=deadline)
 
     def _execute_batch(
         self,

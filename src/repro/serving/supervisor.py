@@ -43,7 +43,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import (
     QueryLimitError,
@@ -365,17 +365,26 @@ class WorkerHandle:
 class _Pending:
     """One in-flight request awaiting its response."""
 
-    __slots__ = ("event", "expected_gen", "shard", "replica", "response")
+    __slots__ = (
+        "callback", "event", "expected_gen", "shard", "replica", "response",
+    )
 
     def __init__(
         self, event: threading.Event, shard: int, replica: int,
         expected_gen: int,
+        callback: "Optional[Callable[[Optional[dict]], None]]" = None,
     ):
         self.event = event
         self.shard = shard
         self.replica = replica
         self.expected_gen = expected_gen
         self.response: dict | None = None
+        #: Completion hook fired (from the dispatcher/supervisor thread)
+        #: with the response dict, or ``None`` when the request became
+        #: unanswerable (worker respawned / runtime closed).  This is
+        #: what bridges completions into an asyncio event loop without a
+        #: waiting thread per request (``loop.call_soon_threadsafe``).
+        self.callback = callback
 
 
 class ShardRuntime:
@@ -476,11 +485,19 @@ class ShardRuntime:
                 handle.process.terminate()
                 handle.process.join(timeout=1.0)
         self._dispatcher.join(timeout=2.0)
+        lost_callbacks = []
         with self._lock:
             for pending in self._pending.values():
                 pending.event.set()
+                if pending.callback is not None and pending.response is None:
+                    lost_callbacks.append(pending.callback)
             self._pending.clear()
             self._workers.clear()
+        for callback in lost_callbacks:
+            try:
+                callback(None)
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     def __enter__(self) -> "ShardRuntime":
         return self.start()
@@ -562,6 +579,7 @@ class ShardRuntime:
         # Wake waiters bound to the dead incarnation: their
         # ``request_lost`` check sees the generation bump and fails
         # over immediately instead of discovering it by polling.
+        lost_callbacks = []
         with self._lock:
             for pending in self._pending.values():
                 if (
@@ -571,6 +589,13 @@ class ShardRuntime:
                     and pending.response is None
                 ):
                     pending.event.set()
+                    if pending.callback is not None:
+                        lost_callbacks.append(pending.callback)
+        for callback in lost_callbacks:
+            try:
+                callback(None)
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     def worker(self, shard: int, replica: int) -> WorkerHandle:
         """The current incarnation serving ``(shard, replica)``."""
@@ -601,6 +626,7 @@ class ShardRuntime:
                     break
                 continue
             request_id = response.get("id")
+            callback = None
             with self._lock:
                 pending = self._pending.get(request_id)
                 if pending is None:
@@ -611,6 +637,14 @@ class ShardRuntime:
                     continue
                 pending.response = response
                 pending.event.set()
+                callback = pending.callback
+            if callback is not None:
+                # Outside the lock: the hook typically just schedules a
+                # loop.call_soon_threadsafe, but it is caller code.
+                try:
+                    callback(response)
+                except Exception:  # pragma: no cover - defensive
+                    pass
 
     def submit(
         self,
@@ -621,12 +655,16 @@ class ShardRuntime:
         timeout: float | None = None,
         max_rows: int | None = None,
         event: threading.Event | None = None,
+        on_complete: Callable[[Optional[dict]], None] | None = None,
     ) -> int:
         """Send one SQL request to a worker of ``shard``; returns the
         request id to :meth:`wait` on.  ``replica`` pins a specific
         worker (hedges do); by default replicas rotate round-robin.
         ``event`` lets several requests share a wake-up event for
-        first-response-wins waits."""
+        first-response-wins waits.  ``on_complete`` is fired once from a
+        runtime thread with the response dict — or ``None`` when the
+        request became unanswerable — letting event-loop callers bridge
+        completions to futures without a waiting thread per request."""
         if replica is None:
             with self._lock:
                 replica = self._rr.get(shard, 0) % self.replicas
@@ -640,6 +678,7 @@ class ShardRuntime:
                 shard,
                 replica,
                 handle.generation,
+                callback=on_complete,
             )
         message = {
             "op": "query",
@@ -668,12 +707,14 @@ class ShardRuntime:
         timeout: float | None = None,
         max_rows: int | None = None,
         event: threading.Event | None = None,
+        on_complete: Callable[[Optional[dict]], None] | None = None,
     ) -> int:
         """Send a pipelined batch of statements to one worker in a
         single request/response round-trip.  The response carries one
         ``items`` entry per statement (``ok`` + rows, or a per-item
         error); queue and pickle overhead is paid once per batch
-        instead of once per statement."""
+        instead of once per statement.  ``on_complete`` follows the
+        :meth:`submit` contract."""
         if replica is None:
             with self._lock:
                 replica = self._rr.get(shard, 0) % self.replicas
@@ -687,6 +728,7 @@ class ShardRuntime:
                 shard,
                 replica,
                 handle.generation,
+                callback=on_complete,
             )
         message = {
             "op": "batch",

@@ -130,3 +130,35 @@ def test_sharded_trajectory_payload_structure(tmp_path):
         < latency["no_hedging"]["p50_seconds"]
     )
     assert latency["hedging"]["hedges"] > 0
+
+
+@pytest.mark.filterwarnings("ignore:.*fork.*:DeprecationWarning")
+def test_async_frontdoor_payload_structure(tmp_path):
+    from repro.bench.trajectory import collect_async
+
+    payload = collect_async(
+        scale=0.5,
+        shards=2,
+        docs=4,
+        total_queries=60,
+        max_inflight=8,
+        repeats=1,
+        workdir=str(tmp_path),
+    )
+
+    meta = payload["meta"]
+    assert meta["workload"] == "xmark-async-frontdoor"
+    assert meta["total_queries"] == 60
+    assert meta["max_inflight"] == 8
+
+    for section in ("sync_blocking", "pipelined_execute_many",
+                    "async_frontdoor"):
+        assert payload[section]["seconds"] > 0
+        assert payload[section]["queries_per_second"] > 0
+    front = payload["async_frontdoor"]
+    assert front["speedup_vs_sync"] > 0
+    # The whole workload was submitted in one gather, yet the heap
+    # stayed bounded by the admission window, not the workload size.
+    assert front["peak_traced_mib"] < 64
+    # No winner asserted at smoke scale; BENCH_PR8.json records the
+    # 1000-query comparison.

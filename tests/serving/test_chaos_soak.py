@@ -232,3 +232,97 @@ class TestChaosSoak:
                     flagged += 1
         single.db.close()
         assert flagged > 0
+
+
+class TestAsyncChaosSoak:
+    def test_async_kill_mid_await_never_silently_wrong(self, tmp_path):
+        """The asyncio front door under the same seeded fault plan: a
+        worker is killed while queries are parked on awaits, some
+        awaits are cancelled mid-flight.  Every settled result must be
+        complete/native/partial against the oracle (never silently
+        wrong), and after the dust settles no futures leak: the
+        supervisor's pending table drains to empty."""
+        import asyncio
+
+        from repro.serving.frontdoor import AsyncShardedEngine
+
+        single, sharded = build_corpus(tmp_path, docs=4)
+        answers = oracle_answers(single, sharded)
+        plan = (
+            WorkerFaultPlan(seed=SEED, slow_rate=0.10, slow_seconds=0.03)
+            .script("kill", shard=0, replica=0, after=1)
+            .script("kill", shard=1, replica=1, after=2)
+        )
+        config = ServingConfig(
+            deadline=8.0,
+            hedge_delay=0.05,
+            shard_retries=1,
+            result_cache_size=None,
+            max_inflight=16,
+            admission_timeout=None,
+        )
+        engine = ShardedEngine.serve(
+            sharded,
+            config=config,
+            replicas=2,
+            fault_plan=plan,
+            health_interval=0.1,
+            heartbeat_timeout=0.5,
+        )
+        tally = {"complete": 0, "native": 0, "partial": 0, "error": 0}
+        try:
+
+            async def soak():
+                front = AsyncShardedEngine(engine)
+                workload = QUERIES * 4
+                tasks = [
+                    asyncio.ensure_future(front.execute(q))
+                    for q in workload
+                ]
+                # Cancel a deterministic slice mid-await while the
+                # scripted kills are landing.
+                await asyncio.sleep(0.02)
+                cancelled = tasks[:: len(QUERIES)]
+                for task in cancelled:
+                    task.cancel()
+                settled = await asyncio.gather(
+                    *tasks, return_exceptions=True
+                )
+                for query, outcome in zip(workload, settled):
+                    if isinstance(outcome, asyncio.CancelledError):
+                        continue
+                    if isinstance(
+                        outcome,
+                        (ShardUnavailableError, AdmissionRejectedError),
+                    ):
+                        tally["error"] += 1
+                        continue
+                    assert not isinstance(outcome, BaseException), outcome
+                    tally[check_outcome(query, outcome, answers)] += 1
+                # No leaked futures: all in-flight requests (hedges
+                # included) were answered or abandoned.
+                for _ in range(100):
+                    if not engine.runtime._pending:
+                        break
+                    await asyncio.sleep(0.05)
+                assert not engine.runtime._pending
+                # The fleet is still serviceable from the same loop.
+                fresh = await front.execute(QUERIES[0])
+                assert check_outcome(QUERIES[0], fresh, answers) in (
+                    "complete",
+                    "native",
+                    "partial",
+                )
+
+            asyncio.run(soak())
+            respawns = engine.runtime.respawn_count()
+        finally:
+            engine.close()
+        single.db.close()
+        sharded.close()
+        # Everything not cancelled was accounted for, and a healthy
+        # majority came back complete despite the kills.
+        accounted = sum(tally.values())
+        assert accounted >= 3 * len(QUERIES)
+        assert tally["complete"] >= len(QUERIES)
+        assert respawns >= 1, "scripted kills never triggered respawns"

@@ -115,18 +115,18 @@ class TestParallelExecution:
         expected = [serial.execute(q).ids for q in self.QUERIES]
         with ConnectionPool.for_store(file_store, size=4) as pool:
             engine = PPFEngine(file_store, result_cache_size=None, pool=pool)
-            got = engine.execute_many(self.QUERIES, max_workers=4)
+            got = engine.execute_many(self.QUERIES, concurrency=4)
             assert [r.ids for r in got] == expected
             assert pool.checkouts >= len(self.QUERIES)
-            # max_workers=1 takes the serial path, same answers.
-            got1 = engine.execute_many(self.QUERIES, max_workers=1)
+            # concurrency=1 takes the serial path, same answers.
+            got1 = engine.execute_many(self.QUERIES, concurrency=1)
             assert [r.ids for r in got1] == expected
 
     def test_execute_many_without_pool_is_serial_but_correct(
         self, file_store
     ):
         engine = PPFEngine(file_store, result_cache_size=None)
-        got = engine.execute_many(self.QUERIES, max_workers=4)
+        got = engine.execute_many(self.QUERIES, concurrency=4)
         assert [r.ids for r in got] == [
             engine.execute(q).ids for q in self.QUERIES
         ]

@@ -55,7 +55,7 @@ class TestGenerationFencingRace:
         mutated = threading.Barrier(2, timeout=10)
         inner_run = engine._run_sql
 
-        def racing_run(sql):
+        def racing_run(sql, deadline=None):
             rows = inner_run(sql)
             in_sql.wait()   # writer: go mutate
             mutated.wait()  # wait until the mutation committed

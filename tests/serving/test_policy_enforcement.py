@@ -88,7 +88,7 @@ class TestPooledPolicyEnforcement:
         engine.attach_pool(pool)
         engine.translate = lambda expression: stub_translation()
         with pytest.raises(QueryTimeoutError):
-            engine.execute_many(["//a", "//b"], max_workers=2)
+            engine.execute_many(["//a", "//b"], concurrency=2)
         pool.close()
 
     def test_execute_parallel_honours_store_timeout(

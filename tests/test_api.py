@@ -1,0 +1,165 @@
+"""repro.connect / EngineConfig: the unified engine entry point."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro import (
+    Engine,
+    EngineConfig,
+    PPFEngine,
+    ShardedEngine,
+    StorageError,
+    connect,
+    infer_schema,
+    parse_document,
+)
+from repro.core.engine import SERVED_BY, QueryResult
+from repro.serving.shards import ShardedStore
+from repro.storage.database import Database
+from repro.storage.schema_aware import ShreddedStore
+
+pytestmark = [
+    pytest.mark.filterwarnings("ignore:.*fork.*:DeprecationWarning"),
+]
+
+XML = "<shop><item sku='a'><price>5</price></item></shop>"
+
+
+def make_docs(count=4):
+    return [
+        parse_document(
+            f"<shop><item sku='s{i}'><price>{i}</price></item></shop>",
+            name=f"doc{i}.xml",
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def single_path(tmp_path):
+    docs = make_docs()
+    path = str(tmp_path / "single.db")
+    db = Database.open(path)
+    store = ShreddedStore.create(db, infer_schema(docs))
+    for doc in docs:
+        store.load(doc)
+    db.close()
+    return path
+
+
+@pytest.fixture()
+def shard_dir(tmp_path):
+    docs = make_docs()
+    path = str(tmp_path / "shards")
+    store = ShardedStore.create(path, infer_schema(docs), shards=2)
+    store.bulk_load(docs)
+    store.close()
+    return path
+
+
+class TestConnectSingle:
+    def test_autodetects_single_store_file(self, single_path):
+        with connect(single_path) as engine:
+            assert isinstance(engine, PPFEngine)
+            assert isinstance(engine, Engine)
+            result = engine.execute("//item")
+            assert len(result) == 4
+            assert result.served_by == "sql"
+
+    def test_close_tears_down_database(self, single_path):
+        engine = connect(single_path)
+        engine.execute("//price")
+        engine.close()
+        with pytest.raises(StorageError):
+            engine.store.db.query("SELECT 1")
+        engine.close()  # idempotent
+
+    def test_config_controls_pool_and_policy(self, single_path):
+        config = EngineConfig(pool_size=2, deadline=9.0, max_rows=50)
+        with connect(single_path, config=config) as engine:
+            assert engine._pool is not None
+            assert engine.store.db.policy.query_timeout == 9.0
+            assert engine.store.db.policy.max_rows == 50
+            assert len(engine.execute("//item")) == 4
+
+    def test_execute_async_is_wired(self, single_path):
+        config = EngineConfig(pool_size=2)
+        with connect(single_path, config=config) as engine:
+
+            async def go():
+                return await engine.execute_async("//item")
+
+            assert len(asyncio.run(go())) == 4
+
+
+class TestConnectSharded:
+    def test_autodetects_shard_directory(self, shard_dir):
+        with connect(shard_dir) as engine:
+            assert isinstance(engine, ShardedEngine)
+            assert isinstance(engine, Engine)
+            result = engine.execute("//item")
+            assert len(result) == 4
+            assert result.served_by == "shards"
+
+    def test_close_tears_down_fleet_and_store(self, shard_dir):
+        engine = connect(shard_dir)
+        engine.execute("//price")
+        engine.close()
+        assert not engine.runtime._pending
+        engine.close()  # idempotent
+
+    def test_serving_config_mapping(self, shard_dir):
+        config = EngineConfig(
+            deadline=7.5, replicas=1, max_inflight=3, hedge_delay=0.2
+        )
+        with connect(shard_dir, config=config) as engine:
+            assert engine.config.deadline == 7.5
+            assert engine.config.max_inflight == 3
+            assert engine.config.hedge_delay == 0.2
+            assert engine.runtime.replicas == 1
+
+    def test_execute_async_is_wired(self, shard_dir):
+        with connect(shard_dir) as engine:
+
+            async def go():
+                return await engine.execute_async("//item")
+
+            assert len(asyncio.run(go())) == 4
+
+
+class TestConnectErrors:
+    def test_missing_path_raises_storage_error(self, tmp_path):
+        with pytest.raises(StorageError):
+            connect(str(tmp_path / "nope.db"))
+
+    def test_directory_without_manifest_raises(self, tmp_path):
+        plain = tmp_path / "plain"
+        plain.mkdir()
+        with pytest.raises(StorageError):
+            connect(str(plain))
+
+
+class TestEngineConfig:
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(Exception):
+            config.deadline = 1.0
+
+    def test_top_level_exports(self):
+        assert repro.connect is connect
+        assert repro.EngineConfig is EngineConfig
+        assert repro.SERVED_BY == SERVED_BY
+
+
+class TestServedByContract:
+    def test_out_of_vocabulary_value_rejected(self):
+        with pytest.raises(ValueError, match="served_by"):
+            QueryResult([], None, served_by="turbo")  # static-ok: served-by
+
+    def test_vocabulary_values_accepted(self):
+        for value in sorted(SERVED_BY):
+            assert QueryResult([], None, served_by=value).served_by == value
