@@ -7,7 +7,8 @@ serving layers rely on but no off-the-shelf linter knows about:
     other connection-producing ``sqlite3.*`` call) may appear only in
     the storage facade and the fault-injection harness; everything else
     must go through :class:`~repro.storage.database.Database` so query
-    guards, retry and timeouts apply (ERROR).
+    guards, retry and timeouts apply.  ``# static-ok: raw-sqlite``
+    suppresses one reviewed site (ERROR).
 ``CA002`` **interpolated SQL** — no f-string, ``%``-formatted or
     ``str.format`` SQL handed to an execute/query method; bind
     parameters instead.  The storage facade itself (which centralizes
@@ -18,8 +19,8 @@ serving layers rely on but no off-the-shelf linter knows about:
     maintain a store generation (they define ``_bump_generation``),
     any public instance method that itself executes INSERT/UPDATE/DELETE
     must also bump the generation, or serving-layer caches go stale.
-    ``# static-ok: generation-bump`` on the ``def`` line suppresses
-    (ERROR).
+    ``# static-ok: generation-bump`` on the ``def`` line (or a
+    decorator line) suppresses (ERROR).
 ``CA004`` **served_by vocabulary** — ``QueryResult.served_by`` is a
     closed vocabulary (:data:`repro.core.engine.SERVED_BY` /
     ``ServedBy``); any string literal constructed into, assigned to, or
@@ -27,6 +28,10 @@ serving layers rely on but no off-the-shelf linter knows about:
     engine cannot invent a private value the serving layer (and the
     oracle test matrix) does not know.  ``# static-ok: served-by``
     suppresses one reviewed site (ERROR).
+
+Pragmas come from :mod:`repro.analysis.pragmas`: literal codes work
+everywhere an alias does (``# static-ok: CA002``), and one comment can
+suppress several rules (``# static-ok: CA002, CA003``).
 
 The linter is wired into the ``analysis`` CI job over ``src/`` and is
 available ad hoc via ``repro lint --code <path>``.
@@ -38,6 +43,7 @@ import ast
 from pathlib import Path
 from typing import Iterable, Union
 
+from repro.analysis.pragmas import PragmaIndex
 from repro.analysis.report import Report, Severity
 
 _ANALYZER = "code-lint"
@@ -64,10 +70,6 @@ _SQL_SINKS = frozenset(
 
 _DML_PREFIXES = ("INSERT", "UPDATE", "DELETE")
 
-_PRAGMA_SQL = "static-ok: sql-interp"
-_PRAGMA_BUMP = "static-ok: generation-bump"
-_PRAGMA_SERVED = "static-ok: served-by"
-
 
 def _served_by_vocabulary() -> "frozenset[str]":
     # Imported lazily: repro.core pulls in the serving layer, which
@@ -75,15 +77,6 @@ def _served_by_vocabulary() -> "frozenset[str]":
     from repro.core.engine import SERVED_BY
 
     return SERVED_BY
-
-
-def _pragma_lines(source: str, pragma: str) -> set[int]:
-    """1-based line numbers carrying ``# <pragma>`` comments."""
-    return {
-        number
-        for number, line in enumerate(source.splitlines(), start=1)
-        if "#" in line and pragma in line.split("#", 1)[1]
-    }
 
 
 def _is_interpolated_string(node: ast.expr) -> bool:
@@ -169,15 +162,13 @@ class CodeLinter:
             )
             return report
         basename = Path(filename).name
-        sql_ok = _pragma_lines(source, _PRAGMA_SQL)
-        bump_ok = _pragma_lines(source, _PRAGMA_BUMP)
-        served_ok = _pragma_lines(source, _PRAGMA_SERVED)
-        self._check_raw_sqlite(tree, basename, filename, report)
+        pragmas = PragmaIndex(source)
+        self._check_raw_sqlite(tree, basename, filename, pragmas, report)
         self._check_sql_interpolation(
-            tree, basename, filename, sql_ok, report
+            tree, basename, filename, pragmas, report
         )
-        self._check_generation_bumps(tree, filename, bump_ok, report)
-        self._check_served_by(tree, filename, served_ok, report)
+        self._check_generation_bumps(tree, filename, pragmas, report)
+        self._check_served_by(tree, filename, pragmas, report)
         return report
 
     def lint_file(self, path: Union[str, Path]) -> Report:
@@ -186,14 +177,20 @@ class CodeLinter:
         return self.lint_source(path.read_text(encoding="utf-8"), str(path))
 
     def lint_paths(self, paths: Iterable[Union[str, Path]]) -> Report:
-        """Lint files and/or directory trees (``**/*.py``)."""
+        """Lint files and/or directory trees (``**/*.py``), visiting
+        each distinct file once even when the path arguments overlap."""
         report = Report()
+        seen: set[Path] = set()
         for entry in paths:
             entry = Path(entry)
             files = (
                 sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
             )
             for file in files:
+                marker = file.resolve()
+                if marker in seen:
+                    continue
+                seen.add(marker)
                 report.extend(self.lint_file(file))
         return report
 
@@ -204,6 +201,7 @@ class CodeLinter:
         tree: ast.AST,
         basename: str,
         filename: str,
+        pragmas: PragmaIndex,
         report: Report,
     ) -> None:
         if basename in _RAW_SQLITE_ALLOWED:
@@ -216,6 +214,8 @@ class CodeLinter:
                 and node.func.value.id == "sqlite3"
                 and node.func.attr in ("connect", "Connection")
             ):
+                continue
+            if pragmas.suppresses("CA001", node.lineno):
                 continue
             report.add(
                 _ANALYZER,
@@ -234,7 +234,7 @@ class CodeLinter:
         tree: ast.AST,
         basename: str,
         filename: str,
-        suppressed: set[int],
+        pragmas: PragmaIndex,
         report: Report,
     ) -> None:
         if basename in _SQL_INTERP_ALLOWED:
@@ -247,7 +247,7 @@ class CodeLinter:
                 and node.args
             ):
                 continue
-            if node.lineno in suppressed:
+            if pragmas.suppresses("CA002", node.lineno):
                 continue
             if _is_interpolated_string(node.args[0]):
                 report.add(
@@ -256,7 +256,8 @@ class CodeLinter:
                     Severity.ERROR,
                     f"interpolated SQL passed to .{node.func.attr}(); "
                     "use bind parameters, or mark a reviewed "
-                    f"identifier-quoting site with `# {_PRAGMA_SQL}`",
+                    "identifier-quoting site with "
+                    "`# static-ok: sql-interp`",
                     f"{filename}:{node.lineno}",
                     "SQL injection hygiene",
                 )
@@ -267,7 +268,7 @@ class CodeLinter:
         self,
         tree: ast.AST,
         filename: str,
-        suppressed: set[int],
+        pragmas: PragmaIndex,
         report: Report,
     ) -> None:
         for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
@@ -282,7 +283,11 @@ class CodeLinter:
                 if _has_decorator(method, "classmethod", "staticmethod"):
                     # No instance yet — generation state does not exist.
                     continue
-                if method.lineno in suppressed:
+                anchor_lines = (
+                    method.lineno,
+                    *(d.lineno for d in method.decorator_list),
+                )
+                if pragmas.suppresses("CA003", *anchor_lines):
                     continue
                 if _executes_dml(method) and not _calls_bump(method):
                     report.add(
@@ -303,13 +308,15 @@ class CodeLinter:
         self,
         tree: ast.AST,
         filename: str,
-        suppressed: set[int],
+        pragmas: PragmaIndex,
         report: Report,
     ) -> None:
         vocabulary = _served_by_vocabulary()
         for node in ast.walk(tree):
             for literal, lineno in self._served_by_literals(node):
-                if literal in vocabulary or lineno in suppressed:
+                if literal in vocabulary or pragmas.suppresses(
+                    "CA004", lineno
+                ):
                     continue
                 report.add(
                     _ANALYZER,

@@ -1,0 +1,28 @@
+"""Concurrency-discipline analyzer for the async/thread/process stack.
+
+A CFG/dataflow linter (`CC001`–`CC006`) that machine-checks the
+conventions the serving layer's correctness rests on: never block the
+event loop, touch the loop only via its thread-safe entry points,
+release every admission slot and pooled connection on every path,
+acquire locks in one global order, never drop a coroutine, lock writes
+shared across execution contexts.  See :mod:`.rules` for the rule
+catalogue, :mod:`.cfg` for the control-flow graphs and
+:mod:`.callgraph` for call resolution, blocking summaries and
+execution-context classification.
+"""
+
+from repro.analysis.concurrency.callgraph import Project
+from repro.analysis.concurrency.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.concurrency.rules import (
+    ConcurrencyLinter,
+    lint_concurrency,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "ConcurrencyLinter",
+    "Project",
+    "build_cfg",
+    "lint_concurrency",
+]

@@ -1,0 +1,617 @@
+"""Module set, function table, call resolution and blocking summaries.
+
+The concurrency rules are interprocedural: "does this ``async def``
+block?" depends on what its (transitively called) sync helpers do, and
+"is this function on the event loop or on a worker thread?" depends on
+who schedules it.  This module builds that shared substrate over the
+set of files handed to one lint invocation:
+
+* a :class:`FunctionInfo` table covering every (possibly nested)
+  function and method, with lexical parent links for closure-style
+  call resolution;
+* best-effort call resolution — ``self.m()`` to the enclosing class's
+  method, bare names through the lexical scope chain then module
+  scope, ``obj.m()`` to a uniquely-named method across the analyzed
+  set, unresolved otherwise;
+* a *blocking* summary fixpoint: a function blocks when its own body
+  matches a blocking pattern (database sinks, ``time.sleep``, lock
+  ``acquire``, queue ``get``, thread/process ``join``, subprocess,
+  file I/O) or when it calls a sync function that blocks.  ``await``-ed
+  calls never count (the loop suspends instead of blocking), and
+  callables merely *referenced* as arguments (``run_in_executor(None,
+  self.execute)``) are references, not calls, so executor hops break
+  the chain exactly where the runtime does;
+* execution-context classification: which functions run on the event
+  loop (``async def``s plus ``call_soon``/``call_later``/
+  ``call_soon_threadsafe`` callbacks) and which run on worker threads
+  (``threading.Thread`` targets, ``executor.submit`` callables,
+  ``add_done_callback`` callbacks), propagated through resolved sync
+  calls;
+* a registry of ``threading`` lock attributes and the with-block lock
+  sets the CC004/CC006 rules consume.
+
+Resolution is deliberately modest — no inheritance, no aliasing — and
+every unresolved call is assumed non-blocking.  That keeps the false-
+positive rate near zero at the cost of missing exotic dispatch, the
+same trade the paper makes when it derives its Section 4.5 marking
+from the schema rather than from runtime traces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.analysis.pragmas import PragmaIndex
+
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+#: Methods that hit the database (the storage facade's query surface
+#: plus the DB-API itself).
+_DB_SINKS = frozenset(
+    {
+        "execute",
+        "executemany",
+        "executescript",
+        "query",
+        "query_one",
+        "guarded_query",
+        "commit",
+        "fetchone",
+        "fetchall",
+    }
+)
+
+#: Path I/O methods that always touch the filesystem.
+_FILE_SINKS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: ``loop.<attr>(callback, ...)`` schedulers whose callback runs on the
+#: event loop.  ``call_later``/``call_at`` take the callback second.
+_LOOP_SCHEDULERS = {
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+}
+
+#: ``threading``/``multiprocessing`` constructors whose ``target=``
+#: runs off the event loop.
+_THREAD_CONSTRUCTORS = frozenset({"Thread", "Process"})
+
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"}
+)
+
+
+def dotted_name(expr: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = dotted_name(expr.value)
+        if base is not None:
+            return f"{base}.{expr.attr}"
+    return None
+
+
+def own_walk(func: FuncNode) -> Iterator[ast.AST]:
+    """Walk a function's own executable body, not descending into
+    nested function/class scopes (their bodies are separate frames)."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, _SCOPE_NODES):
+                stack.append(child)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file under analysis."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+
+
+class FunctionInfo:
+    """One function/method/nested def in the analyzed set.
+
+    Identity semantics on purpose: two infos are the same function iff
+    they wrap the same AST node, and instances key caches/dicts."""
+
+    __slots__ = ("module", "node", "qualname", "class_name", "parent", "children")
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        node: FuncNode,
+        qualname: str,
+        class_name: Optional[str],
+        parent: Optional["FunctionInfo"],
+    ) -> None:
+        self.module = module
+        self.node = node
+        self.qualname = qualname
+        self.class_name = class_name
+        self.parent = parent
+        self.children: dict[str, FunctionInfo] = {}
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    def def_lines(self) -> tuple[int, ...]:
+        """The ``def`` line plus decorator lines (pragma anchors)."""
+        return (
+            self.node.lineno,
+            *(decorator.lineno for decorator in self.node.decorator_list),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qualname}>"
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One ``threading`` synchronization primitive attribute."""
+
+    owner: Optional[str]  #: class name, or None for a module global
+    attr: str
+    kind: str  #: ``Lock`` / ``RLock`` / ``Semaphore`` / ...
+    module: str
+    lineno: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.owner}.{self.attr}" if self.owner else self.attr
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    """One call site that blocks, directly or transitively."""
+
+    lineno: int
+    reason: str  #: human chain, e.g. ``supervisor.run_query() -> .query() database I/O``
+
+
+def blocking_pattern(call: ast.Call) -> Optional[str]:
+    """The blocking-primitive pattern ``call`` matches, if any.
+
+    Callers are expected to have excluded ``await``-ed calls already —
+    ``await semaphore.acquire()`` suspends, it does not block.
+    """
+    target = call.func
+    if isinstance(target, ast.Name):
+        if target.id == "open":
+            return "open() file I/O"
+        return None
+    if not isinstance(target, ast.Attribute):
+        return None
+    attr = target.attr
+    base = dotted_name(target.value)
+    if base == "time" and attr == "sleep":
+        return "time.sleep()"
+    if base == "subprocess":
+        return f"subprocess.{attr}()"
+    if base == "os" and attr in {"system", "popen", "waitpid"}:
+        return f"os.{attr}()"
+    if base == "sqlite3" and attr == "connect":
+        return "sqlite3.connect()"
+    if attr in _DB_SINKS:
+        return f".{attr}() database I/O"
+    if attr in _FILE_SINKS:
+        return f".{attr}() file I/O"
+    if attr == "acquire":
+        return ".acquire() lock wait"
+    if attr == "get" and not call.args:
+        # Zero positional arguments is a queue-style blocking get;
+        # dict.get(key, default) always passes the key positionally.
+        return ".get() queue wait"
+    if attr == "join":
+        return _join_pattern(call, target)
+    if attr == "wait" and base != "asyncio":
+        return ".wait() event/process wait"
+    if attr == "run_until_complete":
+        return ".run_until_complete() nested loop"
+    return None
+
+
+def _join_pattern(call: ast.Call, target: ast.Attribute) -> Optional[str]:
+    """Distinguish ``thread.join(timeout)`` from ``sep.join(parts)``."""
+    if isinstance(target.value, ast.Constant):
+        return None  # "sep".join(...)
+    if call.args and not (
+        isinstance(call.args[0], ast.Constant)
+        and isinstance(call.args[0].value, (int, float))
+    ):
+        return None  # sep.join(parts), os.path.join("a", "b")
+    return ".join() thread/process wait"
+
+
+def _callback_reference(expr: ast.expr) -> Optional[ast.expr]:
+    """The expression if it plausibly names a function (not a call)."""
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        return expr
+    return None
+
+
+class Project:
+    """The analyzed module set plus every derived summary."""
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.modules = modules
+        self.functions: list[FunctionInfo] = []
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self._class_methods: dict[tuple[str, str], dict[str, FunctionInfo]] = {}
+        self._module_scope: dict[tuple[str, str], FunctionInfo] = {}
+        self._global_scope: dict[str, list[FunctionInfo]] = {}
+        self.locks: dict[tuple[Optional[str], str], LockInfo] = {}
+        for module in modules:
+            self._collect_module(module)
+        self._awaited: dict[FunctionInfo, frozenset[int]] = {}
+        self._calls: dict[FunctionInfo, tuple[ast.Call, ...]] = {}
+        self._blocking: Optional[dict[FunctionInfo, BlockingCall]] = None
+        self._loop_ctx: Optional[set[FunctionInfo]] = None
+        self._thread_ctx: Optional[set[FunctionInfo]] = None
+        self._loop_roots: Optional[set[FunctionInfo]] = None
+
+    # -- collection --------------------------------------------------------------
+
+    def _collect_module(self, module: ModuleInfo) -> None:
+        def visit(
+            node: ast.AST,
+            class_name: Optional[str],
+            parent: Optional[FunctionInfo],
+            prefix: str,
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}{child.name}"
+                    info = FunctionInfo(
+                        module, child, qualname, class_name, parent
+                    )
+                    self.functions.append(info)
+                    if parent is not None:
+                        parent.children[child.name] = info
+                    elif class_name is None:
+                        self._module_scope[(module.path, child.name)] = info
+                        self._global_scope.setdefault(child.name, []).append(
+                            info
+                        )
+                    if class_name is not None and parent is None:
+                        self._methods_by_name.setdefault(
+                            child.name, []
+                        ).append(info)
+                        self._class_methods.setdefault(
+                            (module.path, class_name), {}
+                        )[child.name] = info
+                    visit(child, class_name, info, f"{qualname}.")
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, child.name, None, f"{prefix}{child.name}.")
+                elif not isinstance(child, ast.Lambda):
+                    visit(child, class_name, parent, prefix)
+        visit(module.tree, None, None, "")
+        self._collect_locks(module)
+
+    def _collect_locks(self, module: ModuleInfo) -> None:
+        def lock_kind(value: ast.expr) -> Optional[str]:
+            if isinstance(value, ast.Call):
+                name = dotted_name(value.func)
+                if name is not None:
+                    tail = name.rsplit(".", maxsplit=1)[-1]
+                    if tail in _LOCK_CONSTRUCTORS:
+                        return tail
+            return None
+
+        for cls in [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        ]:
+            for node in ast.walk(cls):
+                if not isinstance(node, ast.Assign):
+                    continue
+                kind = lock_kind(node.value)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        key = (cls.name, target.attr)
+                        self.locks.setdefault(
+                            key,
+                            LockInfo(
+                                cls.name,
+                                target.attr,
+                                kind,
+                                module.path,
+                                node.lineno,
+                            ),
+                        )
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            kind = lock_kind(node.value)
+            if kind is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.locks.setdefault(
+                        (None, target.id),
+                        LockInfo(
+                            None, target.id, kind, module.path, node.lineno
+                        ),
+                    )
+
+    # -- per-function views ------------------------------------------------------
+
+    def awaited_ids(self, func: FunctionInfo) -> frozenset[int]:
+        """ids of every AST node under an ``await`` in ``func``."""
+        cached = self._awaited.get(func)
+        if cached is None:
+            ids: set[int] = set()
+            for node in own_walk(func.node):
+                if isinstance(node, ast.Await):
+                    ids.update(id(sub) for sub in ast.walk(node))
+            cached = frozenset(ids)
+            self._awaited[func] = cached
+        return cached
+
+    def calls_of(self, func: FunctionInfo) -> tuple[ast.Call, ...]:
+        """Every call expression in ``func``'s own body."""
+        cached = self._calls.get(func)
+        if cached is None:
+            cached = tuple(
+                node
+                for node in own_walk(func.node)
+                if isinstance(node, ast.Call)
+            )
+            self._calls[func] = cached
+        return cached
+
+    def enclosing(self, func: FunctionInfo) -> FunctionInfo:
+        """The outermost lexical ancestor (loop/thread roots live there)."""
+        scope = func
+        while scope.parent is not None:
+            scope = scope.parent
+        return scope
+
+    # -- call resolution ---------------------------------------------------------
+
+    def resolve_call(
+        self, site: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        return self.resolve_reference(site, call.func)
+
+    def resolve_reference(
+        self, site: FunctionInfo, target: ast.expr
+    ) -> Optional[FunctionInfo]:
+        """Best-effort resolution of a callable reference at ``site``."""
+        if isinstance(target, ast.Name):
+            return self._resolve_name(site, target.id)
+        if isinstance(target, ast.Attribute):
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id in {"self", "cls"}
+                and site.class_name is not None
+            ):
+                methods = self._class_methods.get(
+                    (site.module.path, site.class_name), {}
+                )
+                return methods.get(target.attr)
+            candidates = self._methods_by_name.get(target.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def _resolve_name(
+        self, site: FunctionInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        scope: Optional[FunctionInfo] = site
+        while scope is not None:
+            child = scope.children.get(name)
+            if child is not None:
+                return child
+            scope = scope.parent
+        local = self._module_scope.get((site.module.path, name))
+        if local is not None:
+            return local
+        candidates = self._global_scope.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- blocking summaries ------------------------------------------------------
+
+    def blocking_summaries(self) -> dict[FunctionInfo, BlockingCall]:
+        """Fixpoint map: sync function -> why (and where) it blocks."""
+        if self._blocking is not None:
+            return self._blocking
+        summaries: dict[FunctionInfo, BlockingCall] = {}
+        for func in self.functions:
+            if func.is_async:
+                continue
+            hit = self.first_blocking_call(func)
+            if hit is not None:
+                summaries[func] = hit
+        changed = True
+        while changed:
+            changed = False
+            for func in self.functions:
+                if func.is_async or func in summaries:
+                    continue
+                for call in self.calls_of(func):
+                    if id(call) in self.awaited_ids(func):
+                        continue
+                    callee = self.resolve_call(func, call)
+                    if (
+                        callee is None
+                        or callee is func
+                        or callee.is_async
+                        or callee not in summaries
+                    ):
+                        continue
+                    chain = summaries[callee]
+                    summaries[func] = BlockingCall(
+                        call.lineno,
+                        f"{callee.qualname}() → {chain.reason}",
+                    )
+                    changed = True
+                    break
+        self._blocking = summaries
+        return summaries
+
+    def first_blocking_call(
+        self, func: FunctionInfo
+    ) -> Optional[BlockingCall]:
+        """The first directly-blocking call in ``func``'s own body.
+
+        Calls that resolve to a project function are judged by that
+        function's own summary (in the fixpoint), never by its name —
+        an ``async def execute`` is not database I/O just because the
+        DB-API also spells its sink ``execute``."""
+        best: Optional[BlockingCall] = None
+        for call in self.calls_of(func):
+            if id(call) in self.awaited_ids(func):
+                continue
+            if self.resolve_call(func, call) is not None:
+                continue
+            reason = blocking_pattern(call)
+            if reason is not None and (
+                best is None or call.lineno < best.lineno
+            ):
+                best = BlockingCall(call.lineno, reason)
+        return best
+
+    # -- execution contexts ------------------------------------------------------
+
+    def loop_roots(self) -> set[FunctionInfo]:
+        """Functions that *enter* on the event loop: ``async def``s and
+        callbacks handed to ``call_soon``/``call_later``/``call_at``/
+        ``call_soon_threadsafe``."""
+        if self._loop_roots is not None:
+            return self._loop_roots
+        roots = {func for func in self.functions if func.is_async}
+        for func in self.functions:
+            for call in self.calls_of(func):
+                target = call.func
+                if not isinstance(target, ast.Attribute):
+                    continue
+                index = _LOOP_SCHEDULERS.get(target.attr)
+                if index is None or len(call.args) <= index:
+                    continue
+                reference = _callback_reference(call.args[index])
+                if reference is None:
+                    continue
+                callback = self.resolve_reference(func, reference)
+                if callback is not None:
+                    roots.add(callback)
+        self._loop_roots = roots
+        return roots
+
+    def thread_roots(self) -> set[FunctionInfo]:
+        """Functions that enter off the loop: ``Thread``/``Process``
+        targets, ``executor.submit`` callables, done-callbacks."""
+        roots: set[FunctionInfo] = set()
+        for func in self.functions:
+            for call in self.calls_of(func):
+                for reference in self._thread_references(call):
+                    callback = self.resolve_reference(func, reference)
+                    if callback is not None:
+                        roots.add(callback)
+        return roots
+
+    @staticmethod
+    def _thread_references(call: ast.Call) -> list[ast.expr]:
+        target = call.func
+        references: list[ast.expr] = []
+        constructor = dotted_name(target)
+        if (
+            constructor is not None
+            and constructor.rsplit(".", maxsplit=1)[-1]
+            in _THREAD_CONSTRUCTORS
+        ):
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    reference = _callback_reference(keyword.value)
+                    if reference is not None:
+                        references.append(reference)
+        if isinstance(target, ast.Attribute) and (
+            target.attr.startswith("submit")
+            or target.attr == "add_done_callback"
+        ):
+            # Every function-looking argument: executor.submit(fn, ...)
+            # runs fn on a pool thread, and dispatcher-style submits
+            # (runtime.submit(message, on_complete=cb)) invoke their
+            # completion callbacks from the dispatcher's worker thread.
+            arguments = list(call.args) + [
+                keyword.value for keyword in call.keywords
+            ]
+            references.extend(
+                reference
+                for arg in arguments
+                if (reference := _callback_reference(arg)) is not None
+            )
+        return references
+
+    def contexts(self) -> tuple[set[FunctionInfo], set[FunctionInfo]]:
+        """(loop-context, thread-context) closures: roots propagated
+        through resolved sync calls.  A function reachable from both
+        kinds of root lands in both sets."""
+        if self._loop_ctx is not None and self._thread_ctx is not None:
+            return self._loop_ctx, self._thread_ctx
+        loop_ctx = set(self.loop_roots())
+        thread_ctx = set(self.thread_roots())
+        for ctx, other_roots in (
+            (loop_ctx, thread_ctx),
+            (thread_ctx, self.loop_roots()),
+        ):
+            changed = True
+            while changed:
+                changed = False
+                for func in list(ctx):
+                    for call in self.calls_of(func):
+                        callee = self.resolve_call(func, call)
+                        if (
+                            callee is None
+                            or callee.is_async
+                            or callee in ctx
+                            or callee in other_roots
+                        ):
+                            continue
+                        ctx.add(callee)
+                        changed = True
+        self._loop_ctx, self._thread_ctx = loop_ctx, thread_ctx
+        return loop_ctx, thread_ctx
+
+    # -- locks -------------------------------------------------------------------
+
+    def lock_for(
+        self, func: FunctionInfo, expr: ast.expr
+    ) -> Optional[LockInfo]:
+        """The registered lock a with-item/receiver expression names."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and func.class_name is not None
+        ):
+            return self.locks.get((func.class_name, expr.attr))
+        if isinstance(expr, ast.Name):
+            return self.locks.get((None, expr.id))
+        return None

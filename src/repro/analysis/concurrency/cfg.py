@@ -1,0 +1,290 @@
+"""Per-function control-flow graphs with exception edges.
+
+The concurrency rules need path questions, not just "does the function
+mention X": CC003's must-release analysis asks whether *every* path
+from a resource acquisition to function exit passes the paired
+release, including the paths opened by an exception in between.  This
+module builds a small statement-level CFG good enough for that:
+
+* one :class:`CFGNode` per simple statement, plus virtual nodes for
+  function exit, ``except`` dispatch and ``finally`` join points;
+* normal successors (``succ``) and exceptional successors (``exc``)
+  kept separate, so a rule can follow "the acquire call returned"
+  without also following "the acquire call raised";
+* ``try``/``except``/``finally`` modelled conservatively: the
+  ``finally`` suite is built once and every abnormal exit of the
+  protected suite is routed through it.  Over-approximate paths only
+  ever *add* ways to miss a release, so the analysis stays sound for
+  CC003's purpose (it may warn about an impossible path, never the
+  reverse).
+
+A statement is assumed able to raise when it performs a call (or is a
+``raise``/``assert``) — attribute access and arithmetic are treated as
+non-throwing to keep the leak analysis focused on the paths that
+matter in practice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union, cast
+
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+class CFGNode:
+    """One statement (or virtual point) in a function's control flow."""
+
+    __slots__ = ("stmt", "label", "succ", "exc", "then_entry", "else_entry")
+
+    def __init__(self, stmt: Optional[ast.stmt], label: str) -> None:
+        self.stmt = stmt
+        self.label = label
+        self.succ: set[CFGNode] = set()
+        self.exc: set[CFGNode] = set()
+        #: For ``if`` statements: entry of the true/false branch, so a
+        #: rule can follow only the branch where a condition held.
+        self.then_entry: Optional[CFGNode] = None
+        self.else_entry: Optional[CFGNode] = None
+
+    @property
+    def lineno(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CFGNode {self.label}:{self.lineno}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, entry: CFGNode, exit_node: CFGNode, nodes: list[CFGNode]) -> None:
+        self.entry = entry
+        self.exit = exit_node
+        self.nodes = nodes
+        self.by_stmt: dict[int, CFGNode] = {
+            id(node.stmt): node for node in nodes if node.stmt is not None
+        }
+
+    def node_for(self, stmt: ast.stmt) -> Optional[CFGNode]:
+        """The node carrying ``stmt``, if the builder saw it."""
+        return self.by_stmt.get(id(stmt))
+
+    def reachable(
+        self, starts: set[CFGNode], blocked: set[CFGNode]
+    ) -> set[CFGNode]:
+        """Nodes reachable from ``starts`` without traversing *through*
+        a ``blocked`` node (reaching one is fine; continuing past it is
+        not)."""
+        seen: set[CFGNode] = set(starts)
+        frontier = [node for node in starts if node not in blocked]
+        while frontier:
+            node = frontier.pop()
+            for succ in node.succ | node.exc:
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                if succ not in blocked:
+                    frontier.append(succ)
+        return seen
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservative 'this statement can transfer to a handler'."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        if isinstance(node, (ast.Call, ast.Await)):
+            return True
+    return False
+
+
+def _returns_or_raises(stmts: list[ast.stmt]) -> bool:
+    return any(
+        isinstance(node, (ast.Return, ast.Raise))
+        for stmt in stmts
+        for node in ast.walk(stmt)
+        if not isinstance(node, _SCOPE_NODES)
+    )
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+
+    def node(self, stmt: Optional[ast.stmt], label: str) -> CFGNode:
+        node = CFGNode(stmt, label)
+        self.nodes.append(node)
+        return node
+
+    def build(self, func: FuncNode) -> CFG:
+        exit_node = self.node(None, "exit")
+        entry = self.stmts(
+            func.body,
+            follow=exit_node,
+            exc=exit_node,
+            ret=exit_node,
+            brk=None,
+            cont=None,
+        )
+        return CFG(entry, exit_node, self.nodes)
+
+    def stmts(
+        self,
+        body: list[ast.stmt],
+        follow: CFGNode,
+        exc: CFGNode,
+        ret: CFGNode,
+        brk: Optional[CFGNode],
+        cont: Optional[CFGNode],
+    ) -> CFGNode:
+        entry = follow
+        for stmt in reversed(body):
+            entry = self.stmt(stmt, entry, exc, ret, brk, cont)
+        return entry
+
+    def stmt(
+        self,
+        stmt: ast.stmt,
+        follow: CFGNode,
+        exc: CFGNode,
+        ret: CFGNode,
+        brk: Optional[CFGNode],
+        cont: Optional[CFGNode],
+    ) -> CFGNode:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, follow, exc, ret, brk, cont)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, follow, exc, ret)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, follow, exc, ret, brk, cont)
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            # TryStar (3.11+) has the same body/handlers/finalbody shape.
+            return self._try(cast(ast.Try, stmt), follow, exc, ret, brk, cont)
+        node = self.node(stmt, type(stmt).__name__)
+        if isinstance(stmt, ast.Return):
+            node.succ.add(ret)
+        elif isinstance(stmt, ast.Raise):
+            node.exc.add(exc)
+        elif isinstance(stmt, ast.Break):
+            node.succ.add(brk if brk is not None else follow)
+        elif isinstance(stmt, ast.Continue):
+            node.succ.add(cont if cont is not None else follow)
+        else:
+            node.succ.add(follow)
+        if not isinstance(stmt, ast.Raise) and _may_raise(stmt):
+            node.exc.add(exc)
+        return node
+
+    def _if(
+        self,
+        stmt: ast.If,
+        follow: CFGNode,
+        exc: CFGNode,
+        ret: CFGNode,
+        brk: Optional[CFGNode],
+        cont: Optional[CFGNode],
+    ) -> CFGNode:
+        node = self.node(stmt, "if")
+        then_entry = self.stmts(stmt.body, follow, exc, ret, brk, cont)
+        else_entry = self.stmts(stmt.orelse, follow, exc, ret, brk, cont)
+        node.succ.update({then_entry, else_entry})
+        node.then_entry = then_entry
+        node.else_entry = else_entry
+        if _may_raise(ast.Expr(value=stmt.test)):
+            node.exc.add(exc)
+        return node
+
+    def _loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        follow: CFGNode,
+        exc: CFGNode,
+        ret: CFGNode,
+    ) -> CFGNode:
+        node = self.node(stmt, "loop")
+        after = self.stmts(stmt.orelse, follow, exc, ret, None, None)
+        body_entry = self.stmts(
+            stmt.body, node, exc, ret, brk=follow, cont=node
+        )
+        node.succ.update({body_entry, after})
+        test = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        if _may_raise(ast.Expr(value=test)):
+            node.exc.add(exc)
+        return node
+
+    def _with(
+        self,
+        stmt: Union[ast.With, ast.AsyncWith],
+        follow: CFGNode,
+        exc: CFGNode,
+        ret: CFGNode,
+        brk: Optional[CFGNode],
+        cont: Optional[CFGNode],
+    ) -> CFGNode:
+        node = self.node(stmt, "with")
+        body_entry = self.stmts(stmt.body, follow, exc, ret, brk, cont)
+        node.succ.add(body_entry)
+        node.exc.add(exc)
+        return node
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        follow: CFGNode,
+        exc: CFGNode,
+        ret: CFGNode,
+        brk: Optional[CFGNode],
+        cont: Optional[CFGNode],
+    ) -> CFGNode:
+        if stmt.finalbody:
+            join = self.node(None, "finally-join")
+            final_entry = self.stmts(
+                stmt.finalbody, join, exc, ret, brk, cont
+            )
+            join.succ.add(follow)
+            join.exc.add(exc)
+            if _returns_or_raises(stmt.body + stmt.orelse) or any(
+                _returns_or_raises(handler.body) for handler in stmt.handlers
+            ):
+                # A return/raise inside the protected suite leaves the
+                # function after running the finally suite.
+                join.succ.add(ret)
+            after_try = final_entry
+            inner_ret = final_entry
+            escape = final_entry
+        else:
+            after_try = follow
+            inner_ret = ret
+            escape = exc
+
+        if stmt.handlers:
+            dispatch = self.node(None, "except-dispatch")
+            for handler in stmt.handlers:
+                dispatch.succ.add(
+                    self.stmts(
+                        handler.body, after_try, escape, inner_ret, brk, cont
+                    )
+                )
+            # An exception no handler matches keeps propagating.
+            dispatch.exc.add(escape)
+            body_exc = dispatch
+        else:
+            body_exc = escape
+
+        orelse_entry = self.stmts(
+            stmt.orelse, after_try, escape, inner_ret, brk, cont
+        )
+        return self.stmts(
+            stmt.body, orelse_entry, body_exc, inner_ret, brk, cont
+        )
+
+
+def build_cfg(func: FuncNode) -> CFG:
+    """The statement-level CFG of ``func``'s own body (nested function
+    bodies are separate scopes with their own CFGs)."""
+    return _Builder().build(func)

@@ -1,0 +1,665 @@
+"""The CC001–CC006 concurrency rules and the :class:`ConcurrencyLinter`.
+
+Each rule machine-checks one runtime invariant of the serving stack
+(see the DESIGN.md §5 CC table for the rule ↔ invariant mapping):
+
+``CC001`` **blocking call on the event loop** — a function that enters
+    on the loop (an ``async def``, or a callback scheduled with
+    ``call_soon``/``call_later``/``call_soon_threadsafe``) may not call
+    a blocking primitive, directly or through sync helpers; blocking
+    work must hop through ``run_in_executor`` (ERROR).
+``CC002`` **loop interaction from a worker thread** — thread-context
+    code may only reach the loop via ``call_soon_threadsafe`` /
+    ``run_coroutine_threadsafe``; direct ``call_soon``/``call_later``/
+    ``call_at``/``create_task``/``ensure_future`` are not thread-safe
+    (ERROR).
+``CC003`` **must-release** — an explicit ``X.acquire()`` paired with an
+    ``X.release()`` in the same function must release on *every* CFG
+    path to exit, including exception edges; ``with`` blocks are safe
+    by construction (ERROR).
+``CC004`` **lock order** — the global acquisition order is inferred
+    from observed ``with`` nesting (including through resolved calls);
+    any cycle in that order, or re-acquiring a non-reentrant ``Lock``,
+    is a potential deadlock (ERROR).
+``CC005`` **unawaited coroutine** — calling an ``async def`` (or
+    ``create_task``/``ensure_future``) as a bare expression statement
+    discards the coroutine/task: the work silently never runs, or the
+    task can be garbage-collected mid-flight (ERROR).
+``CC006`` **unlocked shared write** — an instance attribute written
+    from both loop-context and thread-context methods needs a lock
+    around at least the cross-thread writes (WARNING — the contexts
+    are inferred, so this rule points rather than proves).
+
+Every rule supports ``# static-ok: <code-or-alias>`` pragmas on the
+finding line or on the enclosing ``def``/decorator lines.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.analysis.concurrency.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    blocking_pattern,
+    dotted_name,
+    own_walk,
+)
+from repro.analysis.concurrency.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.pragmas import PragmaIndex
+from repro.analysis.report import Report, Severity
+
+_ANALYZER = "concurrency-lint"
+
+_CITATIONS = {
+    "CC001": "event-loop non-blocking contract (DESIGN §5 CC table)",
+    "CC002": "loop thread-affinity contract (DESIGN §5 CC table)",
+    "CC003": "admission/pool must-release contract (DESIGN §5 CC table)",
+    "CC004": "global lock-order contract (DESIGN §5 CC table)",
+    "CC005": "coroutine lifecycle contract (DESIGN §5 CC table)",
+    "CC006": "shared-state locking contract (DESIGN §5 CC table)",
+}
+
+#: Event-loop APIs that are *not* thread-safe.
+_LOOP_ONLY_ATTRS = frozenset(
+    {"call_soon", "call_later", "call_at", "create_task", "ensure_future"}
+)
+
+#: Task factories whose return value must be stored or awaited.
+_TASK_FACTORIES = frozenset({"create_task", "ensure_future"})
+
+
+class _Sink:
+    """Report adapter that applies pragma suppression per finding."""
+
+    def __init__(self, report: Report) -> None:
+        self.report = report
+
+    def emit(
+        self,
+        module: ModuleInfo,
+        func: Optional[FunctionInfo],
+        code: str,
+        severity: Severity,
+        message: str,
+        lineno: int,
+    ) -> None:
+        anchors = (lineno, *(func.def_lines() if func is not None else ()))
+        if module.pragmas.suppresses(code, *anchors):
+            return
+        self.report.add(
+            _ANALYZER,
+            code,
+            severity,
+            message,
+            f"{module.path}:{lineno}",
+            _CITATIONS.get(code, ""),
+        )
+
+
+# -- CC001 -----------------------------------------------------------------------
+
+
+def _check_blocking_on_loop(project: Project, sink: _Sink) -> None:
+    summaries = project.blocking_summaries()
+    for func in sorted(project.loop_roots(), key=lambda f: f.node.lineno):
+        entry = "async" if func.is_async else "a loop callback"
+        for call in project.calls_of(func):
+            if id(call) in project.awaited_ids(func):
+                continue
+            callee = project.resolve_call(func, call)
+            if callee is None:
+                reason = blocking_pattern(call)
+                if reason is not None:
+                    sink.emit(
+                        func.module,
+                        func,
+                        "CC001",
+                        Severity.ERROR,
+                        f"{func.qualname} runs on the event loop ({entry}) "
+                        f"but calls blocking {reason}; hop through "
+                        "loop.run_in_executor() instead",
+                        call.lineno,
+                    )
+                continue
+            if callee.is_async or callee not in summaries:
+                continue
+            chain = summaries[callee]
+            sink.emit(
+                func.module,
+                func,
+                "CC001",
+                Severity.ERROR,
+                f"{func.qualname} runs on the event loop ({entry}) but "
+                f"calls {callee.qualname}(), which blocks "
+                f"({chain.reason}); hop through loop.run_in_executor()",
+                call.lineno,
+            )
+
+
+# -- CC002 -----------------------------------------------------------------------
+
+
+def _check_loop_from_thread(project: Project, sink: _Sink) -> None:
+    loop_ctx, thread_ctx = project.contexts()
+    for func in sorted(
+        thread_ctx - loop_ctx, key=lambda f: f.node.lineno
+    ):
+        for call in project.calls_of(func):
+            target = call.func
+            attr: Optional[str] = None
+            if isinstance(target, ast.Attribute):
+                attr = target.attr
+            elif isinstance(target, ast.Name):
+                attr = target.id if target.id in _TASK_FACTORIES else None
+            if attr not in _LOOP_ONLY_ATTRS:
+                continue
+            sink.emit(
+                func.module,
+                func,
+                "CC002",
+                Severity.ERROR,
+                f"{func.qualname} runs on a worker thread but calls "
+                f".{attr}(), which is not thread-safe; use "
+                "loop.call_soon_threadsafe() or "
+                "asyncio.run_coroutine_threadsafe()",
+                call.lineno,
+            )
+
+
+# -- CC003 -----------------------------------------------------------------------
+
+
+def _header_exprs(stmt: ast.stmt) -> Optional[list[ast.expr]]:
+    """The header expressions of a compound statement (None means the
+    statement is simple and owns its whole subtree)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+        return []
+    return None
+
+
+def _call_nodes(cfg: CFG) -> dict[int, CFGNode]:
+    """Map ``id(call)`` of every call to its *nearest* CFG node (body
+    statements are separate nodes, so compound headers only claim the
+    calls in their own header expressions)."""
+    owners: dict[int, CFGNode] = {}
+    for node in cfg.nodes:
+        if node.stmt is None:
+            continue
+        headers = _header_exprs(node.stmt)
+        roots: list[ast.AST] = (
+            [node.stmt] if headers is None else list(headers)
+        )
+        for root in roots:
+            for sub in ast.walk(root):
+                if isinstance(sub, ast.Call):
+                    owners[id(sub)] = node
+    return owners
+
+
+def _acquired_successors(
+    node: CFGNode, call: ast.Call
+) -> set[CFGNode]:
+    """Successor nodes on the 'the acquire succeeded' path."""
+    stmt = node.stmt
+    if isinstance(stmt, ast.If):
+        in_test = any(sub is call for sub in ast.walk(stmt.test))
+        if in_test:
+            negated = isinstance(stmt.test, ast.UnaryOp) and isinstance(
+                stmt.test.op, ast.Not
+            )
+            branch = node.else_entry if negated else node.then_entry
+            if branch is not None:
+                return {branch}
+    return set(node.succ)
+
+
+def _check_must_release(project: Project, sink: _Sink) -> None:
+    for func in project.functions:
+        acquires: list[tuple[ast.Call, str]] = []
+        releases: dict[str, list[ast.Call]] = {}
+        for node in own_walk(func.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            receiver = dotted_name(node.func.value)
+            if receiver is None:
+                continue
+            if (
+                node.func.attr == "acquire"
+                and id(node) not in project.awaited_ids(func)
+            ):
+                acquires.append((node, receiver))
+            elif node.func.attr == "release":
+                releases.setdefault(receiver, []).append(node)
+        paired = [
+            (call, receiver)
+            for call, receiver in acquires
+            if receiver in releases
+        ]
+        if not paired:
+            continue
+        cfg = build_cfg(func.node)
+        owners = _call_nodes(cfg)
+        for call, receiver in paired:
+            release_nodes = {
+                owners[id(release)]
+                for release in releases[receiver]
+                if id(release) in owners
+            }
+            node = owners.get(id(call))
+            if node is None:
+                continue
+            starts = _acquired_successors(node, call)
+            reached = cfg.reachable(starts, blocked=release_nodes)
+            if cfg.exit in reached:
+                sink.emit(
+                    func.module,
+                    func,
+                    "CC003",
+                    Severity.ERROR,
+                    f"{receiver}.acquire() in {func.qualname} has a "
+                    f"path to function exit that skips "
+                    f"{receiver}.release(); release in a try/finally "
+                    "or use a `with` block",
+                    call.lineno,
+                )
+
+
+# -- CC004 -----------------------------------------------------------------------
+
+
+def _direct_locks(
+    project: Project, func: FunctionInfo
+) -> set[str]:
+    """Labels of locks ``func`` itself acquires (with blocks and
+    explicit ``.acquire()`` calls)."""
+    labels: set[str] = set()
+    for node in own_walk(func.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                lock = project.lock_for(func, item.context_expr)
+                if lock is not None:
+                    labels.add(lock.label)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+        ):
+            lock = project.lock_for(func, node.func.value)
+            if lock is not None:
+                labels.add(lock.label)
+    return labels
+
+
+def _acquired_transitive(project: Project) -> dict[FunctionInfo, set[str]]:
+    acquired = {
+        func: _direct_locks(project, func) for func in project.functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for func in project.functions:
+            for call in project.calls_of(func):
+                callee = project.resolve_call(func, call)
+                if callee is None or callee is func:
+                    continue
+                missing = acquired[callee] - acquired[func]
+                if missing:
+                    acquired[func].update(missing)
+                    changed = True
+    return acquired
+
+
+def _lock_edges(
+    project: Project, acquired: dict[FunctionInfo, set[str]]
+) -> dict[tuple[str, str], tuple[ModuleInfo, Optional[FunctionInfo], int]]:
+    """Observed ``outer → inner`` acquisition edges with one witness
+    site each."""
+    edges: dict[
+        tuple[str, str], tuple[ModuleInfo, Optional[FunctionInfo], int]
+    ] = {}
+
+    def note(
+        outer: str, inner: str, func: FunctionInfo, lineno: int
+    ) -> None:
+        edges.setdefault((outer, inner), (func.module, func, lineno))
+
+    def calls_under(
+        func: FunctionInfo, roots: list[ast.AST], held: tuple[str, ...]
+    ) -> None:
+        for root in roots:
+            for sub in ast.walk(root):
+                if not isinstance(sub, ast.Call):
+                    continue
+                callee = project.resolve_call(func, sub)
+                if callee is None or callee is func:
+                    continue
+                for inner in acquired.get(callee, set()):
+                    for outer in held:
+                        note(outer, inner, func, sub.lineno)
+
+    def visit(
+        func: FunctionInfo, stmts: list[ast.stmt], held: tuple[str, ...]
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                got: list[str] = []
+                for item in stmt.items:
+                    lock = project.lock_for(func, item.context_expr)
+                    if lock is not None:
+                        got.append(lock.label)
+                for inner in got:
+                    for outer in held:
+                        note(outer, inner, func, stmt.lineno)
+                visit(func, stmt.body, held + tuple(got))
+                continue
+            headers = _header_exprs(stmt)
+            if headers is None:
+                if held:
+                    calls_under(func, [stmt], held)
+                continue
+            if held:
+                calls_under(func, list(headers), held)
+            for body in _stmt_bodies(stmt):
+                visit(func, body, held)
+
+    for func in project.functions:
+        visit(func, func.node.body, ())
+    return edges
+
+
+def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if block:
+            bodies.append(list(block))
+    for handler in getattr(stmt, "handlers", []):
+        bodies.append(list(handler.body))
+    return bodies
+
+
+def _check_lock_order(project: Project, sink: _Sink) -> None:
+    acquired = _acquired_transitive(project)
+    edges = _lock_edges(project, acquired)
+    adjacency: dict[str, set[str]] = {}
+    for outer, inner in edges:
+        adjacency.setdefault(outer, set()).add(inner)
+    kinds = {lock.label: lock.kind for lock in project.locks.values()}
+    reported: set[frozenset[str]] = set()
+    for (outer, inner), (module, func, lineno) in sorted(
+        edges.items(), key=lambda entry: (entry[1][0].path, entry[1][2])
+    ):
+        if outer == inner:
+            if kinds.get(outer) == "Lock":
+                sink.emit(
+                    module,
+                    func,
+                    "CC004",
+                    Severity.ERROR,
+                    f"non-reentrant lock {outer} is re-acquired while "
+                    "already held: guaranteed self-deadlock",
+                    lineno,
+                )
+            continue
+        if not _reaches(adjacency, inner, outer):
+            continue
+        key = frozenset({outer, inner})
+        if key in reported:
+            continue
+        reported.add(key)
+        sink.emit(
+            module,
+            func,
+            "CC004",
+            Severity.ERROR,
+            f"lock-order cycle: {outer} is taken before {inner} here, "
+            f"but {inner} is (transitively) taken before {outer} "
+            "elsewhere — a potential deadlock; pick one global order",
+            lineno,
+        )
+
+
+def _reaches(
+    adjacency: dict[str, set[str]], start: str, goal: str
+) -> bool:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for succ in adjacency.get(node, set()):
+            if succ == goal:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return False
+
+
+# -- CC005 -----------------------------------------------------------------------
+
+
+def _check_unawaited_coroutines(project: Project, sink: _Sink) -> None:
+    for func in project.functions:
+        for node in own_walk(func.node):
+            if not (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            call = node.value
+            callee = project.resolve_call(func, call)
+            if callee is not None and callee.is_async:
+                sink.emit(
+                    func.module,
+                    func,
+                    "CC005",
+                    Severity.ERROR,
+                    f"coroutine {callee.qualname}() is created in "
+                    f"{func.qualname} but never awaited or stored — "
+                    "its body will never run",
+                    node.lineno,
+                )
+                continue
+            target = call.func
+            attr = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else None
+            )
+            if attr in _TASK_FACTORIES:
+                sink.emit(
+                    func.module,
+                    func,
+                    "CC005",
+                    Severity.ERROR,
+                    f"task created by .{attr}() in {func.qualname} is "
+                    "discarded; store the reference or the task can be "
+                    "garbage-collected mid-flight",
+                    node.lineno,
+                )
+
+
+# -- CC006 -----------------------------------------------------------------------
+
+
+def _locked_node_ids(project: Project, func: FunctionInfo) -> set[int]:
+    """ids of AST nodes lexically inside a ``with <registered lock>``."""
+    ids: set[int] = set()
+    for node in own_walk(func.node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(
+            project.lock_for(func, item.context_expr) is not None
+            for item in node.items
+        ):
+            continue
+        for stmt in node.body:
+            ids.update(id(sub) for sub in ast.walk(stmt))
+    return ids
+
+
+def _check_shared_writes(project: Project, sink: _Sink) -> None:
+    loop_ctx, thread_ctx = project.contexts()
+    writes: dict[
+        tuple[str, str, str],
+        list[tuple[FunctionInfo, int, bool, frozenset[str]]],
+    ] = {}
+    for func in project.functions:
+        if func.class_name is None:
+            continue
+        contexts = frozenset(
+            name
+            for name, members in (
+                ("loop", loop_ctx),
+                ("thread", thread_ctx),
+            )
+            if func in members
+        )
+        if not contexts:
+            continue
+        locked_ids = _locked_node_ids(project, func)
+        for node in own_walk(func.node):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    key = (func.module.path, func.class_name, target.attr)
+                    writes.setdefault(key, []).append(
+                        (func, node.lineno, id(node) in locked_ids, contexts)
+                    )
+    for (_, class_name, attr), entries in sorted(writes.items()):
+        loop_writers = [e for e in entries if "loop" in e[3]]
+        thread_writers = [e for e in entries if "thread" in e[3]]
+        if not (loop_writers and thread_writers):
+            continue
+        unlocked = [e for e in entries if not e[2]]
+        for func, lineno, _, contexts in unlocked:
+            side = "loop" if "loop" in contexts else "thread"
+            sink.emit(
+                func.module,
+                func,
+                "CC006",
+                Severity.WARNING,
+                f"self.{attr} of {class_name} is written from both "
+                f"event-loop and worker-thread contexts; this "
+                f"{side}-context write holds no registered lock",
+                lineno,
+            )
+
+
+# -- driver ----------------------------------------------------------------------
+
+_RULES = (
+    _check_blocking_on_loop,
+    _check_loop_from_thread,
+    _check_must_release,
+    _check_lock_order,
+    _check_unawaited_coroutines,
+    _check_shared_writes,
+)
+
+
+class ConcurrencyLinter:
+    """CFG/dataflow concurrency rules over one set of Python sources.
+
+    The whole set is analyzed as one project so the call graph spans
+    files — pass the serving stack together, not file by file.
+    """
+
+    def lint_paths(self, paths: Iterable[Union[str, Path]]) -> Report:
+        """Lint files and/or directory trees (``**/*.py``), each
+        distinct file once."""
+        files: list[Path] = []
+        seen: set[Path] = set()
+        for entry in paths:
+            entry = Path(entry)
+            candidates = (
+                sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+            )
+            for file in candidates:
+                marker = file.resolve()
+                if marker not in seen:
+                    seen.add(marker)
+                    files.append(file)
+        report = Report()
+        modules: list[ModuleInfo] = []
+        for file in files:
+            source = file.read_text(encoding="utf-8")
+            module = self._parse(source, str(file), report)
+            if module is not None:
+                modules.append(module)
+        self._run(modules, report)
+        return report
+
+    def lint_source(self, source: str, filename: str) -> Report:
+        """Lint one module's source text (single-module project)."""
+        report = Report()
+        module = self._parse(source, filename, report)
+        if module is not None:
+            self._run([module], report)
+        return report
+
+    def lint_sources(self, sources: dict[str, str]) -> Report:
+        """Lint several in-memory modules as one project."""
+        report = Report()
+        modules = []
+        for filename, source in sources.items():
+            module = self._parse(source, filename, report)
+            if module is not None:
+                modules.append(module)
+        self._run(modules, report)
+        return report
+
+    @staticmethod
+    def _parse(
+        source: str, filename: str, report: Report
+    ) -> Optional[ModuleInfo]:
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as exc:
+            report.add(
+                _ANALYZER,
+                "CC000",
+                Severity.ERROR,
+                f"module does not parse: {exc.msg}",
+                f"{filename}:{exc.lineno or 0}",
+            )
+            return None
+        return ModuleInfo(filename, source, tree, PragmaIndex(source))
+
+    @staticmethod
+    def _run(modules: list[ModuleInfo], report: Report) -> None:
+        if not modules:
+            return
+        project = Project(modules)
+        sink = _Sink(report)
+        for rule in _RULES:
+            rule(project, sink)
+
+
+def lint_concurrency(paths: Iterable[Union[str, Path]]) -> Report:
+    """One-shot convenience wrapper around :class:`ConcurrencyLinter`."""
+    return ConcurrencyLinter().lint_paths(paths)

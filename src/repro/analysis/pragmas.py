@@ -1,0 +1,81 @@
+"""``# static-ok: <rule>`` suppression pragmas shared by the source linters.
+
+One reviewed call site can opt out of one (or several) source-level
+rules with a trailing comment::
+
+    db.execute(f"DROP INDEX {name}")  # static-ok: sql-interp
+    thread.join()  # static-ok: CC001, CC003 -- shutdown path, loop is gone
+
+A pragma names rules either by their registered alias (``sql-interp``)
+or by the literal code (``CA002``); several rules separate with commas,
+and anything after the first word of each segment is a free-form
+justification.  Line matching is exact: a pragma suppresses findings
+*at its own line* plus, for def-level rules, the ``def`` line reached
+through its decorators — a pragma on a ``with`` header never silences
+findings raised inside the block.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: The comment marker every suppression pragma carries.
+PRAGMA_MARKER = "static-ok:"
+
+#: Readable aliases for rule codes.  Literal codes always work too, so
+#: new rules do not have to invent an alias.
+PRAGMA_ALIASES: dict[str, str] = {
+    "raw-sqlite": "CA001",
+    "sql-interp": "CA002",
+    "generation-bump": "CA003",
+    "served-by": "CA004",
+    "blocking-in-async": "CC001",
+    "loop-from-thread": "CC002",
+    "must-release": "CC003",
+    "lock-order": "CC004",
+    "unawaited-coroutine": "CC005",
+    "unlocked-shared-write": "CC006",
+}
+
+_CODE_RE = re.compile(r"^[A-Z]{2}\d{3}$")
+
+
+def _codes_in(comment: str) -> frozenset[str]:
+    """Rule codes named by one comment's pragma payload (may be empty)."""
+    marker = comment.find(PRAGMA_MARKER)
+    if marker < 0:
+        return frozenset()
+    payload = comment[marker + len(PRAGMA_MARKER):]
+    codes = set()
+    for segment in payload.split(","):
+        words = segment.split()
+        if not words:
+            continue
+        token = words[0].strip()
+        upper = token.upper()
+        if _CODE_RE.match(upper):
+            codes.add(upper)
+        elif token.lower() in PRAGMA_ALIASES:
+            codes.add(PRAGMA_ALIASES[token.lower()])
+    return frozenset(codes)
+
+
+class PragmaIndex:
+    """Per-module map from rule code to the lines that suppress it."""
+
+    def __init__(self, source: str) -> None:
+        self._by_code: dict[str, set[int]] = {}
+        for number, line in enumerate(source.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            for code in _codes_in(line.split("#", 1)[1]):
+                self._by_code.setdefault(code, set()).add(number)
+
+    def lines(self, code: str) -> frozenset[int]:
+        """1-based line numbers carrying a pragma for ``code``."""
+        return frozenset(self._by_code.get(code, set()))
+
+    def suppresses(self, code: str, *lines: int) -> bool:
+        """True when any of ``lines`` carries a pragma for ``code``."""
+        suppressed = self._by_code.get(code, set())
+        return any(line in suppressed for line in lines)

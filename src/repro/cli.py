@@ -362,8 +362,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def _write_report(report, output: str | None, **extra: object) -> None:
     if output:
+        payload = (
+            report.to_sarif()
+            if output.endswith(".sarif")
+            else report.to_json(**extra)
+        )
         with open(output, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json(**extra))
+            handle.write(payload)
             handle.write("\n")
 
 
@@ -374,14 +379,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
         CodeLinter,
         XPathLinter,
         exit_code,
+        lint_concurrency,
         lint_workloads,
         merge_reports,
     )
 
-    if not args.xpaths and not args.workloads and not args.code:
+    if (
+        not args.xpaths
+        and not args.workloads
+        and not args.code
+        and not args.concurrency
+    ):
         print(
             "error: nothing to lint (pass XPath expressions, "
-            "--workloads, or --code PATH)",
+            "--workloads, --code PATH, or --concurrency PATH)",
             file=sys.stderr,
         )
         return 2
@@ -400,6 +411,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"linted {linted} workload queries", file=sys.stderr)
     if args.code:
         reports.append(CodeLinter().lint_paths(args.code))
+    if args.concurrency:
+        reports.append(lint_concurrency(args.concurrency))
     merged = merge_reports(reports)
     print(merged.render_text())
     _write_report(merged, args.output)
@@ -624,6 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the project code linter over files/directories",
     )
     lint.add_argument(
+        "--concurrency",
+        nargs="+",
+        metavar="PATH",
+        help="also run the concurrency-discipline analyzer (CC001-"
+        "CC006) over files/directories, resolved as one call graph",
+    )
+    lint.add_argument(
         "--db",
         metavar="DATABASE",
         help="schema marking source for path-index-aware lints",
@@ -636,7 +656,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--output",
         metavar="FILE",
-        help="also write the findings report as JSON",
+        help="also write the findings report as JSON (or SARIF 2.1.0 "
+        "when FILE ends in .sarif)",
     )
     lint.set_defaults(handler=cmd_lint)
 

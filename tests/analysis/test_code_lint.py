@@ -250,3 +250,131 @@ class TestServedByVocabulary:
             """
         )
         assert report.ok
+
+
+class TestPragmaEdgeCases:
+    """`# static-ok:` behaviour shared across CA001-CA004."""
+
+    def test_literal_code_works_like_alias(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def connect(path):
+                return sqlite3.connect(path)  # static-ok: CA001
+            """
+        )
+        assert report.ok
+
+    def test_raw_sqlite_alias_suppresses(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def connect(path):
+                return sqlite3.connect(path)  # static-ok: raw-sqlite
+            """
+        )
+        assert report.ok
+
+    def test_one_comment_suppresses_multiple_codes(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def probe(path, table):
+                conn = sqlite3.connect(path)  # static-ok: CA001, CA002
+                return conn.execute(f"SELECT * FROM {table}")
+            """
+        )
+        # CA001 is on the pragma line; the CA002 half of the comment
+        # applies to line 5 only, so the interpolated SQL on line 6
+        # still fires.
+        assert codes(report) == ["CA002"]
+
+    def test_multi_code_comment_suppresses_both_on_one_line(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def probe(path, table):
+                return sqlite3.connect(path).execute(f"SELECT {table}")  # static-ok: CA001, CA002
+            """
+        )
+        assert report.ok
+
+    def test_justification_text_after_alias_is_allowed(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def connect(path):
+                return sqlite3.connect(path)  # static-ok: raw-sqlite bootstrap shim, reviewed 2026-08
+            """
+        )
+        assert report.ok
+
+    def test_wrong_code_does_not_suppress_other_rule(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def connect(path):
+                return sqlite3.connect(path)  # static-ok: sql-interp
+            """
+        )
+        assert codes(report) == ["CA001"]
+
+    def test_unknown_token_is_ignored(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def connect(path):
+                return sqlite3.connect(path)  # static-ok: because-i-said-so
+            """
+        )
+        assert codes(report) == ["CA001"]
+
+    def test_generation_bump_pragma_on_decorator_line(self):
+        report = lint_text(
+            """
+            def audited(fn):
+                return fn
+
+            class Store:
+                def _bump_generation(self):
+                    self.generation += 1
+
+                @audited  # static-ok: generation-bump
+                def purge(self):
+                    self.db.execute("DELETE FROM t")
+            """
+        )
+        assert report.ok
+
+    def test_sql_interp_pragma_on_with_header_not_body(self):
+        # The pragma anchors to the execute() call line: placing it on
+        # the `with` header suppresses the header call but not a second
+        # interpolated call in the body.
+        report = lint_text(
+            """
+            def f(db, table):
+                with db.execute(f"SELECT {table}"):  # static-ok: sql-interp
+                    db.execute(f"DELETE {table}")
+            """
+        )
+        assert codes(report) == ["CA002"]
+        assert report.findings[0].subject.endswith(":4")
+
+    def test_pragma_on_unrelated_line_does_not_leak(self):
+        report = lint_text(
+            """
+            import sqlite3
+
+            def connect(path):
+                marker = True  # static-ok: raw-sqlite
+                return sqlite3.connect(path)
+            """
+        )
+        assert codes(report) == ["CA001"]

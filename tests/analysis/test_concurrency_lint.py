@@ -1,0 +1,561 @@
+"""ConcurrencyLinter: seeded violations per CC rule, safe variants,
+pragmas, cross-module resolution, and the clean-tree sweep."""
+
+import textwrap
+
+from repro.analysis import ConcurrencyLinter, lint_concurrency
+from repro.analysis.report import Severity
+
+
+def lint_text(source, filename="example.py"):
+    return ConcurrencyLinter().lint_source(
+        textwrap.dedent(source), filename
+    )
+
+
+def lint_modules(**sources):
+    rendered = {
+        f"{name}.py": textwrap.dedent(source)
+        for name, source in sources.items()
+    }
+    return ConcurrencyLinter().lint_sources(rendered)
+
+
+def codes(report):
+    return sorted(finding.code for finding in report)
+
+
+def lines(report, code):
+    return sorted(
+        int(finding.subject.rsplit(":", 1)[1])
+        for finding in report.by_code(code)
+    )
+
+
+class TestBlockingOnLoop:
+    def test_direct_blocking_call_flagged_with_line(self):
+        report = lint_text(
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """
+        )
+        assert codes(report) == ["CC001"]
+        assert lines(report, "CC001") == [5]
+        assert "time.sleep()" in report.findings[0].message
+
+    def test_transitive_blocking_chain_flagged(self):
+        report = lint_text(
+            """
+            def helper(db):
+                return db.query("SELECT 1")
+
+            async def handler(db):
+                return helper(db)
+            """
+        )
+        assert codes(report) == ["CC001"]
+        assert lines(report, "CC001") == [6]
+        # The message names the chain, not just the endpoint.
+        assert "helper" in report.findings[0].message
+        assert "database I/O" in report.findings[0].message
+
+    def test_call_soon_callback_is_loop_context(self):
+        report = lint_text(
+            """
+            import time
+
+            class Front:
+                def _flush(self):
+                    time.sleep(0.1)
+
+                def kick(self):
+                    self._loop.call_soon(self._flush)
+            """
+        )
+        assert codes(report) == ["CC001"]
+        assert lines(report, "CC001") == [6]
+
+    def test_executor_hop_is_fine(self):
+        report = lint_text(
+            """
+            import functools
+
+            async def handler(loop, db):
+                return await loop.run_in_executor(
+                    None, functools.partial(db.query, "SELECT 1")
+                )
+            """
+        )
+        assert report.ok
+
+    def test_awaited_acquire_is_fine(self):
+        report = lint_text(
+            """
+            async def admit(semaphore):
+                await semaphore.acquire()
+            """
+        )
+        assert report.ok
+
+    def test_async_method_call_is_not_a_db_sink(self):
+        # `self.execute` resolves to the async method below; the name
+        # collision with the DB-API sink must not matter.
+        report = lint_text(
+            """
+            import asyncio
+
+            class Front:
+                async def execute(self, expression):
+                    return expression
+
+                async def stream(self, expressions):
+                    return [
+                        asyncio.ensure_future(self.execute(e))
+                        for e in expressions
+                    ]
+            """
+        )
+        assert report.ok
+
+    def test_pragma_on_call_line_suppresses(self):
+        report = lint_text(
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)  # static-ok: CC001 startup only, loop idle
+            """
+        )
+        assert report.ok
+
+    def test_pragma_alias_on_def_line_suppresses(self):
+        report = lint_text(
+            """
+            import time
+
+            async def handler():  # static-ok: blocking-in-async
+                time.sleep(1)
+            """
+        )
+        assert report.ok
+
+
+class TestLoopFromThread:
+    def test_thread_target_calling_call_soon_flagged(self):
+        report = lint_text(
+            """
+            import threading
+
+            class Front:
+                def _worker(self):
+                    self._loop.call_soon(self._done)
+
+                def _done(self):
+                    pass
+
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+            """
+        )
+        assert codes(report) == ["CC002"]
+        assert lines(report, "CC002") == [6]
+
+    def test_submit_keyword_callback_is_thread_context(self):
+        report = lint_text(
+            """
+            class Front:
+                def _done(self):
+                    pass
+
+                def kick(self, runtime, message):
+                    def on_complete(response):
+                        self._loop.call_soon(self._done)
+
+                    runtime.submit_batch(message, on_complete=on_complete)
+            """
+        )
+        assert codes(report) == ["CC002"]
+        assert lines(report, "CC002") == [8]
+
+    def test_call_soon_threadsafe_is_fine(self):
+        report = lint_text(
+            """
+            import threading
+
+            class Front:
+                def _worker(self):
+                    self._loop.call_soon_threadsafe(self._done)
+
+                def _done(self):
+                    pass
+
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+            """
+        )
+        assert report.ok
+
+    def test_loop_context_code_may_use_call_soon(self):
+        report = lint_text(
+            """
+            class Front:
+                async def serve(self):
+                    self._loop.call_soon(self._done)
+
+                def _done(self):
+                    pass
+            """
+        )
+        assert report.ok
+
+
+class TestMustRelease:
+    def test_early_return_skipping_release_flagged(self):
+        report = lint_text(
+            """
+            class Pool:
+                def run(self, job, fast):
+                    self._slots.acquire()
+                    if fast:
+                        return None
+                    self._slots.release()
+                    return job
+            """
+        )
+        assert codes(report) == ["CC003"]
+        assert lines(report, "CC003") == [4]
+
+    def test_exception_path_skipping_release_flagged(self):
+        report = lint_text(
+            """
+            class Pool:
+                def run(self, job):
+                    self._slots.acquire()
+                    result = job.execute()
+                    self._slots.release()
+                    return result
+            """
+        )
+        assert codes(report) == ["CC003"]
+        assert lines(report, "CC003") == [4]
+
+    def test_try_finally_release_is_fine(self):
+        report = lint_text(
+            """
+            class Pool:
+                def run(self, job):
+                    self._slots.acquire()
+                    try:
+                        return job.execute()
+                    finally:
+                        self._slots.release()
+            """
+        )
+        assert report.ok
+
+    def test_failed_guarded_acquire_needs_no_release(self):
+        # The scatter engine's admission pattern: the rejection branch
+        # never holds the semaphore, so raising there is fine.
+        report = lint_text(
+            """
+            class Engine:
+                def execute(self, query):
+                    if not self._admission.acquire(timeout=1.0):
+                        raise RuntimeError("admission rejected")
+                    try:
+                        return self._run(query)
+                    finally:
+                        self._admission.release()
+
+                def _run(self, query):
+                    return query
+            """
+        )
+        assert report.ok
+
+    def test_with_block_is_safe_by_construction(self):
+        report = lint_text(
+            """
+            class Pool:
+                def run(self, job):
+                    with self._lock:
+                        return job.execute()
+            """
+        )
+        assert report.ok
+
+    def test_unrelated_receivers_do_not_pair(self):
+        report = lint_text(
+            """
+            class Pool:
+                def handoff(self):
+                    self._slots.acquire()
+
+                def finish(self):
+                    self._other.release()
+            """
+        )
+        assert report.ok
+
+    def test_pragma_suppresses(self):
+        report = lint_text(
+            """
+            class Pool:
+                def run(self, job, fast):
+                    self._slots.acquire()  # static-ok: must-release
+                    if fast:
+                        return None
+                    self._slots.release()
+                    return job
+            """
+        )
+        assert report.ok
+
+
+class TestLockOrder:
+    def test_inverted_nesting_reports_cycle(self):
+        report = lint_text(
+            """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """
+        )
+        assert codes(report) == ["CC004"]
+        assert lines(report, "CC004") == [11]
+        assert "deadlock" in report.findings[0].message
+
+    def test_interprocedural_self_deadlock_flagged(self):
+        report = lint_text(
+            """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.Lock()
+
+                def outer(self):
+                    with self._a:
+                        self.inner()
+
+                def inner(self):
+                    with self._a:
+                        pass
+            """
+        )
+        assert codes(report) == ["CC004"]
+        assert lines(report, "CC004") == [10]
+        assert "non-reentrant" in report.findings[0].message
+
+    def test_reentrant_lock_may_nest_with_itself(self):
+        report = lint_text(
+            """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.RLock()
+
+                def outer(self):
+                    with self._a:
+                        self.inner()
+
+                def inner(self):
+                    with self._a:
+                        pass
+            """
+        )
+        assert report.ok
+
+    def test_consistent_global_order_is_fine(self):
+        report = lint_text(
+            """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """
+        )
+        assert report.ok
+
+
+class TestUnawaitedCoroutine:
+    def test_bare_coroutine_call_flagged(self):
+        report = lint_text(
+            """
+            class Front:
+                async def _drain(self):
+                    pass
+
+                def close(self):
+                    self._drain()
+            """
+        )
+        assert codes(report) == ["CC005"]
+        assert lines(report, "CC005") == [7]
+        assert "never awaited" in report.findings[0].message
+
+    def test_discarded_task_reference_flagged(self):
+        report = lint_text(
+            """
+            import asyncio
+
+            async def go(work):
+                asyncio.ensure_future(work())
+            """
+        )
+        assert codes(report) == ["CC005"]
+        assert lines(report, "CC005") == [5]
+
+    def test_awaited_and_stored_are_fine(self):
+        report = lint_text(
+            """
+            import asyncio
+
+            class Front:
+                async def _drain(self):
+                    pass
+
+                async def close(self):
+                    await self._drain()
+                    task = asyncio.ensure_future(self._drain())
+                    await task
+            """
+        )
+        assert report.ok
+
+
+class TestUnlockedSharedWrite:
+    SOURCE = """
+        import threading
+
+        class Front:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def serve(self):
+                {loop_write}
+
+            def _worker(self):
+                {thread_write}
+
+            def start(self):
+                threading.Thread(target=self._worker).start()
+    """
+
+    def test_unlocked_cross_context_writes_warn(self):
+        report = lint_text(
+            self.SOURCE.format(
+                loop_write="self._inflight = 1",
+                thread_write="self._inflight = 0",
+            )
+        )
+        assert codes(report) == ["CC006", "CC006"]
+        assert lines(report, "CC006") == [9, 12]
+        assert all(
+            finding.severity is Severity.WARNING for finding in report
+        )
+
+    def test_locked_writes_are_fine(self):
+        report = lint_text(
+            """
+            import threading
+
+            class Front:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def serve(self):
+                    self._set_inflight(1)
+
+                def _worker(self):
+                    self._set_inflight(0)
+
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _set_inflight(self, value):
+                    with self._lock:
+                        self._inflight = value
+            """
+        )
+        assert report.ok
+
+    def test_single_context_writes_are_fine(self):
+        report = lint_text(
+            self.SOURCE.format(
+                loop_write="self._loop_only = 1",
+                thread_write="self._thread_only = 0",
+            )
+        )
+        assert report.ok
+
+
+class TestProjectResolution:
+    def test_blocking_chain_crosses_modules(self):
+        report = lint_modules(
+            worker="""
+            import time
+
+            def grind():
+                time.sleep(1)
+            """,
+            front="""
+            from worker import grind
+
+            async def handler():
+                grind()
+            """,
+        )
+        assert codes(report) == ["CC001"]
+        [finding] = report.findings
+        assert finding.subject.startswith("front.py:")
+        assert "grind" in finding.message
+
+    def test_syntax_error_reported_not_raised(self):
+        report = lint_text("async def broken(:\n")
+        assert codes(report) == ["CC000"]
+
+    def test_each_file_linted_once_across_overlapping_paths(
+        self, tmp_path
+    ):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import time\n\n\nasync def f():\n    time.sleep(1)\n"
+        )
+        report = lint_concurrency([tmp_path, module, str(module)])
+        assert codes(report) == ["CC001"]
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_sweeps_clean(self):
+        report = lint_concurrency(["src"])
+        assert len(report) == 0, report.render_text()

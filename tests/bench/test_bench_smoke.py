@@ -162,3 +162,29 @@ def test_async_frontdoor_payload_structure(tmp_path):
     assert front["peak_traced_mib"] < 64
     # No winner asserted at smoke scale; BENCH_PR8.json records the
     # 1000-query comparison.
+
+
+def test_full_analysis_sweep_fits_wall_clock_budget():
+    """The CI analysis job runs plan verification plus both linters on
+    every push; the whole sweep has to stay interactive-fast and clean
+    even with warnings promoted."""
+    import time
+
+    from repro.analysis import (
+        exit_code,
+        lint_code,
+        lint_concurrency,
+        merge_reports,
+        verify_workloads,
+    )
+
+    started = time.perf_counter()
+    plan_report, verified, _skipped = verify_workloads()
+    merged = merge_reports(
+        [plan_report, lint_code(["src"]), lint_concurrency(["src"])]
+    )
+    elapsed = time.perf_counter() - started
+
+    assert verified > 0
+    assert exit_code(merged, fail_on_warn=True) == 0, merged.render_text()
+    assert elapsed < 90.0, f"analysis sweep took {elapsed:.1f}s"
